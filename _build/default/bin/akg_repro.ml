@@ -1,0 +1,251 @@
+(* Command-line driver: inspect, schedule, compile, simulate and validate
+   fused operators through the full pipeline.
+
+   dune exec bin/akg_repro.exe -- <command> ... *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  let doc = "Print scheduler trace (ILP solves, backtracking, abandonment)." in
+  Arg.(value & flag & info [ "verbose" ] ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* operator lookup                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let network_of_name name =
+  List.find_opt
+    (fun (n : Ops.Networks.t) ->
+      String.lowercase_ascii n.Ops.Networks.name = String.lowercase_ascii name)
+    Ops.Networks.all
+
+let find_op name =
+  match List.assoc_opt name Ops.Classics.all with
+  | Some mk -> Some (mk ())
+  | None -> (
+    (* network/op syntax *)
+    match String.index_opt name '/' with
+    | None -> None
+    | Some i -> (
+      let net = String.sub name 0 i in
+      let op = String.sub name (i + 1) (String.length name - i - 1) in
+      match network_of_name net with
+      | None -> None
+      | Some n -> List.assoc_opt op (Lazy.force n.Ops.Networks.ops)))
+
+let op_arg =
+  let doc =
+    "Operator name: a classic (see $(b,list)) or $(i,network/op) such as \
+     bert/bert_ew_000."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
+
+let with_op f name =
+  match find_op name with
+  | None ->
+    Format.eprintf "unknown operator %s (try the list command)@." name;
+    1
+  | Some k ->
+    f k;
+    0
+
+(* ------------------------------------------------------------------ *)
+(* shared pipeline helpers                                              *)
+(* ------------------------------------------------------------------ *)
+
+type version = Isl | Novec | Infl
+
+let version_conv =
+  Arg.enum [ ("isl", Isl); ("novec", Novec); ("infl", Infl) ]
+
+let version_arg =
+  let doc = "Compiler version: isl (baseline), novec, or infl." in
+  Arg.(value & opt version_conv Infl & info [ "version"; "v" ] ~doc)
+
+let compile version k =
+  match version with
+  | Isl ->
+    let sched, stats = Scheduling.Scheduler.schedule k in
+    (sched, stats, Codegen.Compile.lower ~vectorize:false sched k)
+  | Novec | Infl ->
+    let tree = Vectorizer.Treegen.influence_for k in
+    let sched, stats = Scheduling.Scheduler.schedule ~influence:tree k in
+    let vectorize = version = Infl in
+    (sched, stats, Codegen.Compile.lower ~vectorize sched k)
+
+(* ------------------------------------------------------------------ *)
+(* commands                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Format.printf "classic operators:@.";
+    List.iter (fun (n, _) -> Format.printf "  %s@." n) Ops.Classics.all;
+    Format.printf "network suites (use network/op):@.";
+    List.iter
+      (fun (n : Ops.Networks.t) ->
+        Format.printf "  %s (%d ops): %s ...@." n.Ops.Networks.name
+          (Ops.Networks.op_count n)
+          (String.concat ", "
+             (List.filteri (fun i _ -> i < 3)
+                (List.map fst (Lazy.force n.Ops.Networks.ops)))))
+      Ops.Networks.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available operators") Term.(const run $ const ())
+
+let show_cmd =
+  let run name =
+    with_op
+      (fun k ->
+        Format.printf "%a@." Ir.Kernel.pp k;
+        Format.printf "dependences:@.%a@." Deps.Analysis.pp_all (Deps.Analysis.dependences k))
+      name
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print an operator and its dependences")
+    Term.(const run $ op_arg)
+
+let schedule_cmd =
+  let tree_flag =
+    Arg.(value & flag & info [ "tree" ] ~doc:"Also print the influence constraint tree.")
+  in
+  let run name version tree verbose =
+    setup_logs verbose;
+    with_op
+      (fun k ->
+        (if tree && version <> Isl then
+           Format.printf "influence tree:@.%a@." Scheduling.Influence.pp
+             (Vectorizer.Treegen.influence_for k));
+        let sched, stats, _ = compile version k in
+        Format.printf "%a@." Scheduling.Schedule.pp sched;
+        Format.printf
+          "stats: %d ILP solves, %d loop dims, %d scalar dims, %d sibling moves, %d backtracks, %d SCC separations, abandoned %b@."
+          stats.Scheduling.Scheduler.ilp_solves stats.loop_dims stats.scalar_dims
+          stats.sibling_moves stats.ancestor_backtracks stats.scc_separations
+          stats.influence_abandoned;
+        match
+          Scheduling.Legality.check sched k (Deps.Analysis.dependences k)
+        with
+        | Ok () -> Format.printf "legality: OK@."
+        | Error e -> Format.printf "legality: VIOLATION %s@." e)
+      name
+  in
+  Cmd.v (Cmd.info "schedule" ~doc:"Schedule an operator and check legality")
+    Term.(const run $ op_arg $ version_arg $ tree_flag $ verbose_arg)
+
+let codegen_cmd =
+  let run name version =
+    with_op
+      (fun k ->
+        let _, _, c = compile version k in
+        print_string (Codegen.Cuda.emit c))
+      name
+  in
+  Cmd.v (Cmd.info "codegen" ~doc:"Print generated CUDA-like code")
+    Term.(const run $ op_arg $ version_arg)
+
+let simulate_cmd =
+  let run name version =
+    with_op
+      (fun k ->
+        let _, _, c = compile version k in
+        Format.printf "%s@." (Format.asprintf "%a" Codegen.Mapping.pp c.Codegen.Compile.mapping);
+        Format.printf "%a@." Gpusim.Sim.pp (Gpusim.Sim.run c))
+      name
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Run the GPU performance model")
+    Term.(const run $ op_arg $ version_arg)
+
+let eval_cmd =
+  let run name =
+    with_op
+      (fun k ->
+        let r = Harness.Eval.evaluate_op ~name k in
+        Format.printf
+          "isl %.2fus  tvm %.2fus  novec %.2fus  infl %.2fus  (influenced %b, vec %b)@."
+          r.Harness.Eval.isl_us r.tvm_us r.novec_us r.infl_us r.influenced r.vec;
+        Format.printf "speedups over isl: tvm %.2f  novec %.2f  infl %.2f@."
+          (r.isl_us /. r.tvm_us) (r.isl_us /. r.novec_us) (r.isl_us /. r.infl_us))
+      name
+  in
+  Cmd.v (Cmd.info "eval" ~doc:"Compare the four compiler versions on one operator")
+    Term.(const run $ op_arg)
+
+let check_cmd =
+  let run name =
+    with_op
+      (fun k ->
+        List.iter
+          (fun (label, version) ->
+            let _, _, c = compile version k in
+            let m1 = Interp.randomize k in
+            let m2 = Interp.copy m1 in
+            Interp.run_original k m1;
+            Interp.run_ast k c.Codegen.Compile.ast m2;
+            Format.printf "%-6s %s@." label
+              (if Interp.equal m1 m2 then "MATCH"
+               else Printf.sprintf "MISMATCH (max diff %g)" (Interp.max_abs_diff m1 m2)))
+          [ ("isl", Isl); ("novec", Novec); ("infl", Infl) ])
+      name
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Interpret original vs compiled code and compare results bit-for-bit")
+    Term.(const run $ op_arg)
+
+let tune_cmd =
+  let run name version =
+    with_op
+      (fun k ->
+        let sched, _, _ = compile version k in
+        List.iter
+          (fun (tile, t) ->
+            Format.printf "tile %-8s %10.2f us@."
+              (match tile with None -> "none" | Some s -> string_of_int s)
+              t)
+          (Harness.Autotune.sweep ~vectorize:(version = Infl) sched k);
+        let best = Harness.Autotune.tune ~vectorize:(version = Infl) sched k in
+        Format.printf "chosen: %s (%.2f us)@."
+          (match best.Harness.Autotune.tile with
+           | None -> "untiled"
+           | Some s -> Printf.sprintf "tile %d" s)
+          best.Harness.Autotune.time_us)
+      name
+  in
+  Cmd.v (Cmd.info "tune" ~doc:"Auto-tune tile sizes on the GPU model")
+    Term.(const run $ op_arg $ version_arg)
+
+let network_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NETWORK" ~doc:"Network name")
+  in
+  let run name =
+    match network_of_name name with
+    | None ->
+      Format.eprintf "unknown network %s@." name;
+      1
+    | Some n ->
+      let results =
+        Harness.Eval.evaluate_suite
+          ~progress:(fun op -> Format.eprintf "  %s@." op)
+          (Lazy.force n.Ops.Networks.ops)
+      in
+      Harness.Tables.table2_header Format.std_formatter;
+      Harness.Tables.table2_row Format.std_formatter n.Ops.Networks.name results;
+      0
+  in
+  Cmd.v (Cmd.info "network" ~doc:"Evaluate one network suite (a Table II row)")
+    Term.(const run $ name_arg)
+
+let () =
+  let doc = "Polyhedral scheduling with constraint injection (CGO'22 reproduction)" in
+  let info = Cmd.info "akg_repro" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ list_cmd; show_cmd; schedule_cmd; codegen_cmd; simulate_cmd; eval_cmd;
+            check_cmd; tune_cmd; network_cmd ]))

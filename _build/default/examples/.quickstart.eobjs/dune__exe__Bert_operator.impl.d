@@ -1,0 +1,1 @@
+examples/bert_operator.ml: Baselines Codegen Format Harness Ir List Ops Scheduling Vectorizer

@@ -1,0 +1,1 @@
+examples/custom_influence.ml: Codegen Constr Deps Format Influence Ir Legality Linexpr Ops Option Polyhedra Schedule Scheduler Scheduling Space

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Build Codegen Deps Expr Format Gpusim Interp Ir Kernel List Scheduling Vectorizer

@@ -1,0 +1,1 @@
+examples/resnet_transpose.ml: Codegen Format Gpusim Interp Ir Ops Scheduling Vectorizer

@@ -1,0 +1,1 @@
+lib/baselines/tvm.ml: Access Codegen Ir Kernel Linexpr List Polyhedra Scheduling Stmt String Tensor

@@ -1,0 +1,1 @@
+lib/baselines/tvm.mli: Codegen Ir Scheduling

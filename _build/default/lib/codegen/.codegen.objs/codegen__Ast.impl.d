@@ -1,0 +1,1 @@
+lib/codegen/ast.ml: Constr Format Linexpr List Polyhedra Printf String

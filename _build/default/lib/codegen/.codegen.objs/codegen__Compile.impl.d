@@ -1,0 +1,1 @@
+lib/codegen/compile.ml: Ast Gen Ir Mapping Marks Scheduling Tiling Vectorpass

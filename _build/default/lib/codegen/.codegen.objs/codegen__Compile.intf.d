@@ -1,0 +1,1 @@
+lib/codegen/compile.mli: Ast Ir Mapping Scheduling

@@ -1,0 +1,1 @@
+lib/codegen/cuda.ml: Access Array Ast Buffer Compile Constr Expr Format Ir Kernel Linexpr List Mapping Polyhedra Printf Stmt String Tensor

@@ -1,0 +1,1 @@
+lib/codegen/gen.ml: Array Ast Bigint Constr Ir Kernel Linalg Linexpr List Polybase Polyhedra Polyhedron Q Scheduling Stmt

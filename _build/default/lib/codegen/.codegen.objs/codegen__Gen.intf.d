@@ -1,0 +1,1 @@
+lib/codegen/gen.mli: Ast Ir Polyhedra Scheduling

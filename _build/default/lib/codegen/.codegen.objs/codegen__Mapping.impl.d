@@ -1,0 +1,1 @@
+lib/codegen/mapping.ml: Ast Bigint Format Hashtbl Linexpr List Polybase Polyhedra Printf Q String

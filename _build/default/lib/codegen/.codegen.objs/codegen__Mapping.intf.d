@@ -1,0 +1,1 @@
+lib/codegen/mapping.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/codegen/marks.ml: Ast Constr Deps List Polybase Polyhedra Polyhedron Q Scheduling

@@ -1,0 +1,1 @@
+lib/codegen/marks.mli: Ast Deps Ir Scheduling

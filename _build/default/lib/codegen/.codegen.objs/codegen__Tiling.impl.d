@@ -1,0 +1,1 @@
+lib/codegen/tiling.ml: Ast Constr Deps Linexpr List Polybase Polyhedra Polyhedron Printf Q Scheduling

@@ -1,0 +1,1 @@
+lib/codegen/tiling.mli: Ast Deps Ir Scheduling

@@ -1,0 +1,1 @@
+lib/codegen/vectorpass.ml: Ast Bigint Constr Deps Hashtbl Ir Linexpr List Marks Option Polybase Polyhedra Q Scheduling String

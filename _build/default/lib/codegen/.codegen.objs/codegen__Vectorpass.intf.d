@@ -1,0 +1,1 @@
+lib/codegen/vectorpass.mli: Ast Ir Scheduling

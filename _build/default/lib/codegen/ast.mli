@@ -1,0 +1,65 @@
+(** Loop AST for generated device code.
+
+    Loop bounds are affine expressions of enclosing loop variables (named
+    [t0], [t1], ... after the schedule dimensions); several candidate bounds
+    mean max-of (lower) / min-of (upper), with ceiling/floor semantics for
+    rational coefficients.  Statement instances appear as [Exec] nodes whose
+    [iter_map] rebinds the statement's original iterators to expressions
+    over loop variables (the inverted schedule). *)
+
+open Polyhedra
+
+type mark =
+  | Seq_mark  (** ordinary sequential loop *)
+  | Parallel  (** no dependence carried: may be mapped *)
+  | Vectorized of int * bool
+      (** rewritten with explicit vector types of (width); the flag records
+          whether the strip loop is parallel (mappable to threads) *)
+  | Block of int  (** mapped to CUDA blockIdx.{x,y,z} (axis) *)
+  | Thread of int  (** mapped to CUDA threadIdx.{x,y,z} (axis) *)
+  | BlockThread of int * int
+      (** strip-mined over a (block axis, thread axis) pair: iteration
+          [i = blockIdx * thread_extent + threadIdx] *)
+
+type t =
+  | Stmts of t list  (** ordered sequence *)
+  | For of loop
+  | If of Constr.t list * t  (** guard: all constraints must hold *)
+  | Exec of exec
+  | VecExec of exec * int  (** statement instance over [width] lanes of the
+                               innermost (vectorized) loop variable *)
+
+and loop = {
+  var : string;
+  lower : Linexpr.t list;  (** max of ceilings; never empty *)
+  upper : Linexpr.t list;  (** min of floors; never empty *)
+  step : int;
+  mark : mark;
+  dim : int;
+      (** schedule row this loop implements; tile loops introduced by
+          {!Tiling} use [row - 1000] so they sort outermost *)
+  trip_hint : int option;
+      (** constant trip count for loops whose bounds are not constant
+          (tiling point loops); lets the mapping pass stay applicable *)
+  body : t;
+}
+
+and exec = {
+  stmt : string;
+  iter_map : (string * Linexpr.t) list;
+      (** original statement iterator -> expression over loop variables *)
+}
+
+val loop_var : int -> string
+(** Canonical name of the loop variable of schedule dimension [d]. *)
+
+val stmts_of : t -> string list
+(** Statement names appearing in a subtree (each once, in order). *)
+
+val map_loops : (loop -> loop) -> t -> t
+
+val exec_count : t -> int
+(** Number of [Exec]/[VecExec] sites. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

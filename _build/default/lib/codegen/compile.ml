@@ -1,0 +1,22 @@
+type compiled = {
+  kernel : Ir.Kernel.t;
+  schedule : Scheduling.Schedule.t;
+  ast : Ast.t;
+  mapping : Mapping.t;
+}
+
+let lower ?(vectorize = true) ?vec_min_parallel ?tile_sizes ?max_threads schedule kernel =
+  let ast = Gen.generate schedule kernel in
+  let ast = Marks.refine schedule kernel ast in
+  let ast =
+    if vectorize then Vectorpass.apply ?min_parallel:vec_min_parallel schedule kernel ast
+    else ast
+  in
+  let ast =
+    match tile_sizes with
+    | None -> ast
+    | Some sizes -> Tiling.apply ~sizes schedule kernel ast
+  in
+  let mapping = Mapping.compute ?max_threads ast in
+  let ast = Mapping.apply mapping ast in
+  { kernel; schedule; ast; mapping }

@@ -1,0 +1,18 @@
+(** End-to-end lowering: schedule -> marked, mapped, optionally vectorized
+    AST — the backend part of AKG's flow after polyhedral scheduling. *)
+
+type compiled = {
+  kernel : Ir.Kernel.t;
+  schedule : Scheduling.Schedule.t;
+  ast : Ast.t;
+  mapping : Mapping.t;
+}
+
+val lower :
+  ?vectorize:bool -> ?vec_min_parallel:int -> ?tile_sizes:(int -> int option) ->
+  ?max_threads:int -> Scheduling.Schedule.t -> Ir.Kernel.t -> compiled
+(** Pipeline: AST generation, per-loop parallelism refinement, explicit
+    vectorization (when [vectorize], honouring the schedule's influence
+    annotations), optional tiling of permutable bands ([tile_sizes] per
+    schedule dimension), block/thread mapping (which never considers
+    vectorized dimensions). *)

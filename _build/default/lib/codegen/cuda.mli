@@ -1,0 +1,7 @@
+(** CUDA-flavoured pretty printer for compiled kernels.
+
+    Produces readable device pseudo-code (for documentation, examples and
+    debugging); nothing is compiled by a real CUDA toolchain in this
+    repository — execution happens on the {!Gpusim} performance model. *)
+
+val emit : Compile.compiled -> string

@@ -1,0 +1,18 @@
+(** Polyhedral AST generation: schedule + kernel -> loop AST.
+
+    A simplified Quillere-style generator specialized to the schedules this
+    repository produces: scalar (constant) schedule rows split statements
+    into ordered sequences; loop rows become [For] nodes whose bounds come
+    from Fourier-Motzkin projection of each statement's transformed domain,
+    with per-statement guards when the statements under a fused loop do not
+    share bounds.  Statement iterators are recovered by inverting the
+    (full-rank) iterator part of the schedule. *)
+
+val generate : Scheduling.Schedule.t -> Ir.Kernel.t -> Ast.t
+(** @raise Failure if a statement's schedule is not full-rank (the
+    scheduler guarantees it is). *)
+
+val iter_map_for :
+  Scheduling.Schedule.t -> Ir.Stmt.t -> (string * Polyhedra.Linexpr.t) list
+(** The inverse schedule of one statement: original iterators as affine
+    expressions of the loop variables [t0, t1, ...] (exposed for tests). *)

@@ -1,0 +1,42 @@
+open Polybase
+open Polyhedra
+
+let dep_carried sched kernel (dep : Deps.Dependence.t) ~dim =
+  let ds = Scheduling.Builders.init_dep_state kernel dep in
+  let rel = ref dep.rel in
+  for d = 0 to dim - 1 do
+    let src_expr = Scheduling.Schedule.expr_for sched ~dim:d ~stmt:dep.source in
+    let tgt_expr = Scheduling.Schedule.expr_for sched ~dim:d ~stmt:dep.target in
+    let delta = Scheduling.Builders.delta_concrete ds ~src_expr ~tgt_expr in
+    rel := Polyhedron.add_constraint !rel (Constr.eq0 delta)
+  done;
+  let src_expr = Scheduling.Schedule.expr_for sched ~dim ~stmt:dep.source in
+  let tgt_expr = Scheduling.Schedule.expr_for sched ~dim ~stmt:dep.target in
+  let delta = Scheduling.Builders.delta_concrete ds ~src_expr ~tgt_expr in
+  match Polyhedron.maximum !rel delta with
+  | `Empty -> false
+  | `Value v -> Q.sign v > 0
+  | `Unbounded -> true
+
+let loop_is_parallel sched kernel deps ~dim ~stmts =
+  let relevant =
+    List.filter
+      (fun (d : Deps.Dependence.t) ->
+        Deps.Dependence.is_validity d && List.mem d.source stmts && List.mem d.target stmts)
+      deps
+  in
+  List.for_all (fun dep -> not (dep_carried sched kernel dep ~dim)) relevant
+
+let refine sched kernel ast =
+  let deps = Deps.Analysis.dependences kernel in
+  Ast.map_loops
+    (fun loop ->
+      match loop.Ast.mark with
+      | Ast.Seq_mark | Ast.Parallel ->
+        let stmts = Ast.stmts_of loop.Ast.body in
+        let parallel =
+          loop_is_parallel sched kernel deps ~dim:loop.Ast.dim ~stmts
+        in
+        { loop with Ast.mark = (if parallel then Ast.Parallel else Ast.Seq_mark) }
+      | Ast.Vectorized _ | Ast.Block _ | Ast.Thread _ | Ast.BlockThread _ -> loop)
+    ast

@@ -1,0 +1,21 @@
+(** Per-loop parallelism refinement.
+
+    The schedule's per-dimension coincidence flag is computed jointly over
+    all statements; after code generation a loop may enclose only a subset
+    of statements (statement interleaving splits nests) and be parallel for
+    that subset even when the dimension was not globally coincident.  This
+    pass recomputes the mark per [For] node from the dependences among the
+    statements it actually encloses. *)
+
+val refine : Scheduling.Schedule.t -> Ir.Kernel.t -> Ast.t -> Ast.t
+
+val loop_is_parallel :
+  Scheduling.Schedule.t -> Ir.Kernel.t -> Deps.Dependence.t list -> dim:int ->
+  stmts:string list -> bool
+(** Whether dimension [dim] carries no validity dependence among [stmts],
+    given equal schedule prefixes (exposed for the vectorization pass). *)
+
+val dep_carried :
+  Scheduling.Schedule.t -> Ir.Kernel.t -> Deps.Dependence.t -> dim:int -> bool
+(** Whether a dependence relates instances with equal schedule prefixes but
+    a strictly positive difference at [dim]. *)

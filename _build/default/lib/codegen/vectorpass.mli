@@ -1,0 +1,25 @@
+(** Backend explicit-vectorization pass (the second AKG modification of
+    Section V).
+
+    Rewrites loops that the influence tree prepared (via schedule
+    annotations) into strided loops whose statement instances execute
+    [width] lanes per step with explicit vector loads/stores.  A loop is
+    rewritten only when it is safe and profitable:
+
+    - every unguarded statement under the loop carries a vectorization
+      annotation for this dimension;
+    - multi-statement loops must not carry a dependence at this dimension
+      (single-statement loops may: lanes execute in order);
+    - guards on the loop variable must be equalities pinning a
+      lane-0-aligned value (such statements stay scalar);
+    - the loop has unit step, constant bounds, and an extent divisible by
+      the chosen width (the minimum across statements). *)
+
+val apply :
+  ?min_parallel:int -> Scheduling.Schedule.t -> Ir.Kernel.t -> Ast.t -> Ast.t
+(** [min_parallel] (default 0 = always) refuses rewrites that would leave
+    fewer than that many parallel iterations to map on threads. *)
+
+val vector_dims : Scheduling.Schedule.t -> Ir.Kernel.t -> (string * int * int) list
+(** Per-statement [(stmt, schedule_dim, width)] vectorization plan derived
+    from the schedule annotations. *)

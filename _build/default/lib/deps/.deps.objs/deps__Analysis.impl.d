@@ -1,0 +1,1 @@
+lib/deps/analysis.ml: Access Array Constr Dependence Format Ir Kernel Linexpr List Polyhedra Polyhedron Stmt

@@ -1,0 +1,1 @@
+lib/deps/analysis.mli: Dependence Format Ir

@@ -1,0 +1,1 @@
+lib/deps/dependence.ml: Format Polyhedra Polyhedron String

@@ -1,0 +1,1 @@
+lib/deps/dependence.mli: Format Polyhedra Polyhedron

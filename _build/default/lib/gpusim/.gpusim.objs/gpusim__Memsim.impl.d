@@ -1,0 +1,1 @@
+lib/gpusim/memsim.ml: Access Array Ast Bigint Codegen Compile Constr Expr Fun Hashtbl Ir Kernel Linexpr List Machine Mapping Option Polybase Polyhedra Q Stmt Tensor

@@ -1,0 +1,1 @@
+lib/gpusim/memsim.mli: Codegen Machine

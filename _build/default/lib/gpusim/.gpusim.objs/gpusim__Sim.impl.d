@@ -1,0 +1,1 @@
+lib/gpusim/sim.ml: Float Format List Machine Memsim

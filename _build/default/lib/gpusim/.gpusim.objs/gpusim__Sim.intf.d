@@ -1,0 +1,1 @@
+lib/gpusim/sim.mli: Codegen Format Machine Memsim

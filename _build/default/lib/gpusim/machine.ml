@@ -1,0 +1,45 @@
+type t = {
+  name : string;
+  warp_size : int;
+  sector_bytes : int;
+  clock_hz : float;
+  sm_count : int;
+  max_resident_warps : int;
+  dram_bandwidth : float;
+  mem_latency_cycles : float;
+  memory_parallelism : float;
+  flops_peak : float;
+  launch_overhead_s : float;
+}
+
+let v100 =
+  { name = "tesla-v100-pcie-16gb";
+    warp_size = 32;
+    sector_bytes = 32;
+    clock_hz = 1.245e9; (* the paper's clock setting *)
+    sm_count = 80;
+    max_resident_warps = 80 * 64;
+    dram_bandwidth = 830e9;
+    mem_latency_cycles = 440.0;
+    memory_parallelism = 6.0;
+    flops_peak = 14.0e12;
+    launch_overhead_s = 2.5e-6
+  }
+
+(* An Ampere-class profile: more SMs, faster DRAM, same warp geometry.  Used
+   by tests/benches to check that schedule rankings are stable across
+   machine generations (the paper's ongoing-work section targets other
+   accelerators). *)
+let a100 =
+  { name = "a100-sxm4-40gb";
+    warp_size = 32;
+    sector_bytes = 32;
+    clock_hz = 1.41e9;
+    sm_count = 108;
+    max_resident_warps = 108 * 64;
+    dram_bandwidth = 1.4e12;
+    mem_latency_cycles = 470.0;
+    memory_parallelism = 6.0;
+    flops_peak = 19.5e12;
+    launch_overhead_s = 2.2e-6
+  }

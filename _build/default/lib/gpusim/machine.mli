@@ -1,0 +1,29 @@
+(** GPU machine description for the performance model.
+
+    The defaults approximate the paper's NVIDIA Tesla V100 (PCIe, 16 GB);
+    absolute times are not expected to match the authors' testbed — the
+    model's job is to rank schedules the way the hardware would:
+    uncoalesced warps touch more 32-byte sectors (more DRAM traffic),
+    scalar accesses issue more memory requests than vector ones (more
+    latency to hide), and small kernels cannot saturate the memory
+    system. *)
+
+type t = {
+  name : string;
+  warp_size : int;
+  sector_bytes : int;  (** DRAM transaction granularity *)
+  clock_hz : float;
+  sm_count : int;
+  max_resident_warps : int;  (** chip-wide warp slots *)
+  dram_bandwidth : float;  (** effective bytes/second *)
+  mem_latency_cycles : float;
+  memory_parallelism : float;
+      (** outstanding requests a warp overlaps (MLP) *)
+  flops_peak : float;  (** single-precision FLOP/s *)
+  launch_overhead_s : float;
+}
+
+val v100 : t
+
+val a100 : t
+(** An Ampere-class profile, for cross-generation ranking checks. *)

@@ -1,0 +1,423 @@
+open Polybase
+open Polyhedra
+open Ir
+open Codegen
+
+type result = {
+  requests : float;
+  sectors : float;
+  bytes : float;
+  useful_bytes : float;
+  flops : float;
+  blocks : int;
+  threads_per_block : int;
+  warps : float;
+  requests_per_warp : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* compiled affine expressions: exact integer evaluation               *)
+(* ------------------------------------------------------------------ *)
+
+type cexpr = { terms : (int * int) array; const : int; div : int }
+
+let fdiv_int a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+let cdiv_int a b = -fdiv_int (-a) b
+
+let compile_expr slot_of e =
+  let denoms =
+    Linexpr.fold_terms (fun _ q acc -> Q.den q :: acc) e [ Q.den (Linexpr.constant e) ]
+  in
+  let l = List.fold_left Bigint.lcm Bigint.one denoms in
+  let scale q = Bigint.to_int (Bigint.div (Bigint.mul (Q.num q) l) (Q.den q)) in
+  let terms =
+    Linexpr.fold_terms (fun v q acc -> (slot_of v, scale q) :: acc) e []
+  in
+  { terms = Array.of_list terms; const = scale (Linexpr.constant e); div = Bigint.to_int l }
+
+let eval_raw env ce =
+  let acc = ref ce.const in
+  Array.iter (fun (s, c) -> acc := !acc + (c * env.(s))) ce.terms;
+  !acc
+
+let eval_floor env ce = fdiv_int (eval_raw env ce) ce.div
+let eval_ceil env ce = cdiv_int (eval_raw env ce) ce.div
+
+let eval_exact env ce =
+  let r = eval_raw env ce in
+  assert (r mod ce.div = 0);
+  r / ce.div
+
+(* ------------------------------------------------------------------ *)
+(* simulation program                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type sguard = { gkind : Constr.kind; gexpr : cexpr }
+
+type role = Serial | BlockAxis of int | ThreadAxis of int | SplitAxis of int * int * int | Vector of int
+
+type saccess = {
+  is_write : bool;
+  base : int;  (** tensor base byte address *)
+  elem : int;  (** element size in bytes *)
+  offset : cexpr;  (** element offset *)
+}
+
+type sprog =
+  | SSeq of sprog list
+  | SIf of sguard list * sprog
+  | SFor of {
+      slot : int;
+      lower : cexpr list;
+      upper : cexpr list;
+      step : int;
+      role : role;
+      has_guards : bool;
+      body : sprog;
+    }
+  | SExec of { accesses : saccess list; ops : int; vec : int }
+
+let rec contains_if = function
+  | Ast.Stmts l -> List.exists contains_if l
+  | Ast.If _ -> true
+  | Ast.For l -> contains_if l.Ast.body
+  | Ast.Exec _ | Ast.VecExec _ -> false
+
+let build_program (c : Compile.compiled) =
+  let kernel = c.Compile.kernel in
+  let mapping = c.Compile.mapping in
+  (* tensor layout: sequential, 256-byte aligned *)
+  let bases = Hashtbl.create 8 in
+  let cursor = ref 0 in
+  List.iter
+    (fun (t : Tensor.t) ->
+      Hashtbl.replace bases t.Tensor.name !cursor;
+      cursor := (!cursor + Tensor.bytes t + 255) / 256 * 256)
+    kernel.Kernel.tensors;
+  (* loop-variable slots *)
+  let slots = Hashtbl.create 8 in
+  let slot_of v =
+    match Hashtbl.find_opt slots v with
+    | Some s -> s
+    | None ->
+      let s = Hashtbl.length slots in
+      Hashtbl.replace slots v s;
+      s
+  in
+  let compile_access iter_map (a : Access.t) is_write =
+    let t = Kernel.tensor kernel a.Access.tensor in
+    let offset = Access.linear_offset t a in
+    let offset =
+      List.fold_left (fun e (it, by) -> Linexpr.subst it by e) offset iter_map
+    in
+    { is_write;
+      base = Hashtbl.find bases a.Access.tensor;
+      elem = Tensor.dtype_bytes t.Tensor.dtype;
+      offset = compile_expr slot_of offset
+    }
+  in
+  let compile_exec (e : Ast.exec) vec =
+    let stmt = Kernel.stmt kernel e.Ast.stmt in
+    let accesses =
+      compile_access e.Ast.iter_map stmt.Stmt.write true
+      :: List.map (fun a -> compile_access e.Ast.iter_map a false) (Stmt.reads stmt)
+    in
+    SExec { accesses; ops = Expr.op_count stmt.Stmt.rhs; vec }
+  in
+  let rec go = function
+    | Ast.Stmts l -> SSeq (List.map go l)
+    | Ast.If (cs, b) ->
+      let guards =
+        List.map
+          (fun (cn : Constr.t) -> { gkind = cn.kind; gexpr = compile_expr slot_of cn.expr })
+          cs
+      in
+      SIf (guards, go b)
+    | Ast.Exec e -> compile_exec e 1
+    | Ast.VecExec (e, w) -> compile_exec e w
+    | Ast.For l ->
+      let role =
+        match l.Ast.mark with
+        | Ast.Block a -> BlockAxis a
+        | Ast.Thread a -> ThreadAxis a
+        | Ast.BlockThread (b, t) ->
+          let textent =
+            Option.value ~default:1 (Mapping.thread_extent_of mapping l.Ast.dim)
+          in
+          SplitAxis (b, t, textent)
+        | Ast.Vectorized (w, _) -> Vector w
+        | Ast.Seq_mark | Ast.Parallel -> Serial
+      in
+      SFor
+        { slot = slot_of l.Ast.var;
+          lower = List.map (compile_expr slot_of) l.Ast.lower;
+          upper = List.map (compile_expr slot_of) l.Ast.upper;
+          step = l.Ast.step;
+          role;
+          has_guards = contains_if l.Ast.body;
+          body = go l.Ast.body
+        }
+  in
+  let prog = go c.Compile.ast in
+  (prog, Hashtbl.length slots)
+
+(* ------------------------------------------------------------------ *)
+(* warp walker                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type totals = {
+  mutable t_requests : float;
+  mutable t_sectors : float;
+  mutable t_useful : float;
+  mutable t_flops : float;
+}
+
+let spread_samples total wanted =
+  if total <= wanted then List.init total Fun.id
+  else if wanted = 1 then [ 0 ]
+  else
+    List.sort_uniq compare
+      (List.init wanted (fun k -> k * (total - 1) / (wanted - 1)))
+
+let collect ?(block_samples = 8) ?(warp_samples = 4) ?(loop_sample_cap = 32) machine
+    (c : Compile.compiled) =
+  let prog, nslots = build_program c in
+  let mapping = c.Compile.mapping in
+  let blocks = max 1 (Mapping.grid_blocks mapping) in
+  let tpb = max 1 (Mapping.block_threads mapping) in
+  let warp = machine.Machine.warp_size in
+  let warps_pb = (tpb + warp - 1) / warp in
+  let tot = { t_requests = 0.; t_sectors = 0.; t_useful = 0.; t_flops = 0. } in
+  (* coordinate decomposition: axis 0 fastest *)
+  let coords_of dims id =
+    let arr = Array.make 3 0 in
+    let rem = ref id in
+    List.iteri
+      (fun i (_, e) ->
+        arr.(i) <- !rem mod e;
+        rem := !rem / e)
+      dims;
+    arr
+  in
+  let sector_tbl = Hashtbl.create 64 in
+  let record ~weight lanes_addr =
+    (* lanes_addr: (start_byte, len) option array *)
+    Hashtbl.reset sector_tbl;
+    let useful = ref 0 in
+    Array.iter
+      (function
+        | None -> ()
+        | Some (start, len) ->
+          useful := !useful + len;
+          let s0 = start / machine.Machine.sector_bytes in
+          let s1 = (start + len - 1) / machine.Machine.sector_bytes in
+          for s = s0 to s1 do
+            Hashtbl.replace sector_tbl s ()
+          done)
+      lanes_addr;
+    if !useful > 0 then begin
+      tot.t_requests <- tot.t_requests +. weight;
+      tot.t_sectors <- tot.t_sectors +. (weight *. float_of_int (Hashtbl.length sector_tbl));
+      tot.t_useful <- tot.t_useful +. (weight *. float_of_int !useful)
+    end
+  in
+  let block_ids = spread_samples blocks block_samples in
+  let warp_ids = spread_samples warps_pb warp_samples in
+  let block_weight = float_of_int blocks /. float_of_int (List.length block_ids) in
+  let warp_weight = float_of_int warps_pb /. float_of_int (List.length warp_ids) in
+  let envs = Array.init warp (fun _ -> Array.make (max nslots 1) 0) in
+  let lanes_addr = Array.make warp None in
+  List.iter
+    (fun bid ->
+      let bcoords = coords_of mapping.Mapping.block_dims bid in
+      List.iter
+        (fun wid ->
+          let base_mask =
+            Array.init warp (fun l -> (wid * warp) + l < tpb)
+          in
+          let tcoords =
+            Array.init warp (fun l ->
+                coords_of mapping.Mapping.thread_dims ((wid * warp) + l))
+          in
+          let weight0 = block_weight *. warp_weight in
+          let rec walk weight mask vec_slot = function
+            | SSeq l -> List.iter (walk weight mask vec_slot) l
+            | SIf (gs, b) ->
+              let mask' =
+                Array.mapi
+                  (fun l alive ->
+                    alive
+                    && List.for_all
+                         (fun g ->
+                           let r = eval_raw envs.(l) g.gexpr in
+                           match g.gkind with Constr.Ge -> r >= 0 | Constr.Eq -> r = 0)
+                         gs)
+                  mask
+              in
+              if Array.exists Fun.id mask' then walk weight mask' vec_slot b
+            | SExec { accesses; ops; vec } ->
+              let active = Array.fold_left (fun n a -> if a then n + 1 else n) 0 mask in
+              if active > 0 then begin
+                tot.t_flops <-
+                  tot.t_flops +. (weight *. float_of_int (ops * active * vec));
+                List.iter
+                  (fun acc ->
+                    if vec = 1 then begin
+                      Array.iteri
+                        (fun l alive ->
+                          lanes_addr.(l) <-
+                            (if alive then
+                               Some (acc.base + (eval_exact envs.(l) acc.offset * acc.elem), acc.elem)
+                             else None))
+                        mask;
+                      record ~weight lanes_addr
+                    end
+                    else begin
+                      (* stride of the access along the vectorized variable *)
+                      let slot = Option.get vec_slot in
+                      let l0 =
+                        match Array.to_list (Array.mapi (fun i m -> (i, m)) mask)
+                              |> List.find_opt (fun (_, m) -> m)
+                        with
+                        | Some (i, _) -> i
+                        | None -> 0
+                      in
+                      let v0 = envs.(l0).(slot) in
+                      let o0 = eval_exact envs.(l0) acc.offset in
+                      envs.(l0).(slot) <- v0 + 1;
+                      let o1 = eval_exact envs.(l0) acc.offset in
+                      envs.(l0).(slot) <- v0;
+                      let stride = o1 - o0 in
+                      if abs stride <= 1 then begin
+                        (* one vector request covering [vec] lanes' elements *)
+                        Array.iteri
+                          (fun l alive ->
+                            lanes_addr.(l) <-
+                              (if alive then
+                                 let start = acc.base + (eval_exact envs.(l) acc.offset * acc.elem) in
+                                 let len = if stride = 0 then acc.elem else acc.elem * vec in
+                                 Some (start, len)
+                               else None))
+                          mask;
+                        record ~weight lanes_addr
+                      end
+                      else
+                        (* strided access inside a vector loop stays scalar:
+                           one request per lane-step *)
+                        for lane_step = 0 to vec - 1 do
+                          Array.iteri
+                            (fun l alive ->
+                              lanes_addr.(l) <-
+                                (if alive then begin
+                                   let v = envs.(l).(slot) in
+                                   envs.(l).(slot) <- v + lane_step;
+                                   let start =
+                                     acc.base + (eval_exact envs.(l) acc.offset * acc.elem)
+                                   in
+                                   envs.(l).(slot) <- v;
+                                   Some (start, acc.elem)
+                                 end
+                                 else None))
+                            mask;
+                          record ~weight lanes_addr
+                        done
+                    end)
+                  accesses
+              end
+            | SFor f -> (
+              match f.role with
+              | BlockAxis a ->
+                let lo = eval_ceil envs.(0) (List.hd f.lower) in
+                let hi = eval_floor envs.(0) (List.hd f.upper) in
+                let v = lo + bcoords.(a) in
+                if v <= hi then begin
+                  Array.iter (fun env -> env.(f.slot) <- v) envs;
+                  walk weight mask vec_slot f.body
+                end
+              | ThreadAxis a ->
+                let lo = eval_ceil envs.(0) (List.hd f.lower) in
+                let hi = eval_floor envs.(0) (List.hd f.upper) in
+                let mask' =
+                  Array.mapi
+                    (fun l alive ->
+                      let v = lo + (tcoords.(l).(a) * f.step) in
+                      envs.(l).(f.slot) <- v;
+                      alive && v <= hi)
+                    mask
+                in
+                (* a thread-mapped vector strip keeps its lanes *)
+                let vec_slot' = if f.step > 1 then Some f.slot else vec_slot in
+                if Array.exists Fun.id mask' then walk weight mask' vec_slot' f.body
+              | SplitAxis (b, t, textent) ->
+                let lo = eval_ceil envs.(0) (List.hd f.lower) in
+                let hi = eval_floor envs.(0) (List.hd f.upper) in
+                let mask' =
+                  Array.mapi
+                    (fun l alive ->
+                      let v =
+                        lo + (((bcoords.(b) * textent) + tcoords.(l).(t)) * f.step)
+                      in
+                      envs.(l).(f.slot) <- v;
+                      alive && v <= hi)
+                    mask
+                in
+                let vec_slot' = if f.step > 1 then Some f.slot else vec_slot in
+                if Array.exists Fun.id mask' then walk weight mask' vec_slot' f.body
+              | Serial | Vector _ ->
+                let los =
+                  Array.map
+                    (fun env ->
+                      List.fold_left (fun m e -> max m (eval_ceil env e)) min_int f.lower)
+                    envs
+                in
+                let his =
+                  Array.map
+                    (fun env ->
+                      List.fold_left (fun m e -> min m (eval_floor env e)) max_int f.upper)
+                    envs
+                in
+                let glo = ref max_int and ghi = ref min_int in
+                Array.iteri
+                  (fun l alive ->
+                    if alive then begin
+                      if los.(l) < !glo then glo := los.(l);
+                      if his.(l) > !ghi then ghi := his.(l)
+                    end)
+                  mask;
+                if !glo <= !ghi then begin
+                  let trip = ((!ghi - !glo) / f.step) + 1 in
+                  let cap = if f.has_guards then max loop_sample_cap 256 else loop_sample_cap in
+                  let idxs = spread_samples trip cap in
+                  let scale = float_of_int trip /. float_of_int (List.length idxs) in
+                  let vec_slot' =
+                    match f.role with Vector _ -> Some f.slot | _ -> vec_slot
+                  in
+                  List.iter
+                    (fun idx ->
+                      let v = !glo + (idx * f.step) in
+                      let mask' =
+                        Array.mapi
+                          (fun l alive ->
+                            envs.(l).(f.slot) <- v;
+                            alive && v >= los.(l) && v <= his.(l))
+                          mask
+                      in
+                      if Array.exists Fun.id mask' then
+                        walk (weight *. scale) mask' vec_slot' f.body)
+                    idxs
+                end)
+          in
+          walk weight0 base_mask None prog)
+        warp_ids)
+    block_ids;
+  let warps = float_of_int (blocks * warps_pb) in
+  { requests = tot.t_requests;
+    sectors = tot.t_sectors;
+    bytes = tot.t_sectors *. float_of_int machine.Machine.sector_bytes;
+    useful_bytes = tot.t_useful;
+    flops = tot.t_flops;
+    blocks;
+    threads_per_block = tpb;
+    warps;
+    requests_per_warp = (if warps > 0. then tot.t_requests /. warps else 0.)
+  }

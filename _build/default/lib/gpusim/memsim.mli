@@ -1,0 +1,29 @@
+(** Warp-level memory-access simulation.
+
+    Walks a compiled (mapped, optionally vectorized) AST for a sample of
+    blocks and warps, executing all 32 lanes of each warp in lock-step, and
+    counts warp-level memory requests, the 32-byte DRAM sectors they touch
+    (coalescing falls out of the actual per-lane addresses), useful bytes
+    and arithmetic operations.  Long serial loops are sampled and counts
+    scaled — exact for the affine access streams this repository
+    generates. *)
+
+type result = {
+  requests : float;  (** warp-level memory instructions issued *)
+  sectors : float;  (** 32-byte sectors transferred *)
+  bytes : float;  (** sectors * sector size *)
+  useful_bytes : float;  (** bytes actually consumed/produced by lanes *)
+  flops : float;
+  blocks : int;
+  threads_per_block : int;
+  warps : float;
+  requests_per_warp : float;
+}
+
+val collect :
+  ?block_samples:int ->
+  ?warp_samples:int ->
+  ?loop_sample_cap:int ->
+  Machine.t ->
+  Codegen.Compile.compiled ->
+  result

@@ -1,0 +1,24 @@
+(** Kernel execution-time model.
+
+    Combines the warp-level traffic of {!Memsim} with a three-component
+    roofline: DRAM bandwidth (with a saturation ramp for small kernels),
+    memory-request latency (hidden by warp parallelism and vector width),
+    and arithmetic throughput.  Absolute numbers are indicative; the model
+    preserves the orderings the paper's evaluation depends on. *)
+
+type report = {
+  time_s : float;
+  bw_time_s : float;
+  latency_time_s : float;
+  compute_time_s : float;
+  issue_time_s : float;
+      (** instruction-issue pressure: what vector types shrink *)
+  mem : Memsim.result;
+  coalescing_efficiency : float;  (** useful bytes / transferred bytes *)
+}
+
+val run : ?machine:Machine.t -> Codegen.Compile.compiled -> report
+
+val time_us : report -> float
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/harness/autotune.ml: Codegen Gpusim List Option

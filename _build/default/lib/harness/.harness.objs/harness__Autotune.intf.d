@@ -1,0 +1,1 @@
+lib/harness/autotune.mli: Codegen Gpusim Ir Scheduling

@@ -1,0 +1,1 @@
+lib/harness/eval.ml: Baselines Codegen Gpusim List Polyhedra Scheduling Vectorizer

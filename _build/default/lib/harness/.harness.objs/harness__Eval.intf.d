@@ -1,0 +1,1 @@
+lib/harness/eval.mli: Gpusim Ir

@@ -1,0 +1,1 @@
+lib/harness/tables.ml: Eval Format Lazy List Ops

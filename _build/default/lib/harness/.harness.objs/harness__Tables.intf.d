@@ -1,0 +1,1 @@
+lib/harness/tables.mli: Eval Format Gpusim Ops

@@ -1,0 +1,36 @@
+type choice = {
+  tile : int option;
+  time_us : float;
+  compiled : Codegen.Compile.compiled;
+}
+
+let lower_with ?vectorize ?vec_min_parallel tile schedule kernel =
+  match tile with
+  | None -> Codegen.Compile.lower ?vectorize ?vec_min_parallel schedule kernel
+  | Some s ->
+    Codegen.Compile.lower ?vectorize ?vec_min_parallel
+      ~tile_sizes:(fun _ -> Some s) schedule kernel
+
+let sweep ?machine ?(candidates = [ 8; 16; 32 ]) ?vectorize schedule kernel =
+  List.map
+    (fun tile ->
+      let c = lower_with ?vectorize tile schedule kernel in
+      (tile, Gpusim.Sim.time_us (Gpusim.Sim.run ?machine c)))
+    (None :: List.map Option.some candidates)
+
+let tune ?machine ?(candidates = [ 8; 16; 32 ]) ?vectorize ?vec_min_parallel schedule
+    kernel =
+  let best =
+    List.fold_left
+      (fun acc tile ->
+        let c = lower_with ?vectorize ?vec_min_parallel tile schedule kernel in
+        let t = Gpusim.Sim.time_us (Gpusim.Sim.run ?machine c) in
+        match acc with
+        | Some (_, bt, _) when bt <= t -> acc
+        | _ -> Some (tile, t, c))
+      None
+      (None :: List.map Option.some candidates)
+  in
+  match best with
+  | Some (tile, time_us, compiled) -> { tile; time_us; compiled }
+  | None -> assert false

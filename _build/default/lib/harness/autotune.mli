@@ -1,0 +1,33 @@
+(** Tile-size auto-tuning.
+
+    The paper's evaluation notes that "tile sizes are selected by respective
+    tool auto-tuners"; this module plays that role for the reproduction: it
+    compiles a schedule with a set of candidate uniform tile sizes (plus the
+    untiled variant), simulates each on the GPU model, and keeps the
+    fastest. *)
+
+type choice = {
+  tile : int option;  (** [None] = untiled *)
+  time_us : float;
+  compiled : Codegen.Compile.compiled;
+}
+
+val tune :
+  ?machine:Gpusim.Machine.t ->
+  ?candidates:int list ->
+  ?vectorize:bool ->
+  ?vec_min_parallel:int ->
+  Scheduling.Schedule.t ->
+  Ir.Kernel.t ->
+  choice
+(** Grid-search over [candidates] (default [8; 16; 32]) and the untiled
+    variant; ties favour simpler (untiled, then smaller) configurations. *)
+
+val sweep :
+  ?machine:Gpusim.Machine.t ->
+  ?candidates:int list ->
+  ?vectorize:bool ->
+  Scheduling.Schedule.t ->
+  Ir.Kernel.t ->
+  (int option * float) list
+(** All (tile, simulated microseconds) points, untiled first. *)

@@ -1,0 +1,100 @@
+type op_result = {
+  op_name : string;
+  isl_us : float;
+  tvm_us : float;
+  novec_us : float;
+  infl_us : float;
+  influenced : bool;
+  vec : bool;
+}
+
+let rows_equal (a : Scheduling.Schedule.t) (b : Scheduling.Schedule.t) =
+  List.length a.Scheduling.Schedule.rows = List.length b.Scheduling.Schedule.rows
+  && List.for_all2
+       (fun (ra : Scheduling.Schedule.row) (rb : Scheduling.Schedule.row) ->
+         List.length ra.exprs = List.length rb.exprs
+         && List.for_all2
+              (fun (sa, ea) (sb, eb) -> sa = sb && Polyhedra.Linexpr.equal ea eb)
+              ra.exprs rb.exprs)
+       a.Scheduling.Schedule.rows b.Scheduling.Schedule.rows
+
+let rec has_vector_loop = function
+  | Codegen.Ast.Stmts l -> List.exists has_vector_loop l
+  | Codegen.Ast.If (_, b) -> has_vector_loop b
+  | Codegen.Ast.Exec _ -> false
+  | Codegen.Ast.VecExec _ -> true
+  | Codegen.Ast.For l -> l.Codegen.Ast.step > 1 || has_vector_loop l.Codegen.Ast.body
+
+let evaluate_op ?(machine = Gpusim.Machine.v100) ~name kernel =
+  let isl_sched, _ = Scheduling.Scheduler.schedule kernel in
+  let tree = Vectorizer.Treegen.influence_for kernel in
+  let infl_sched, infl_stats = Scheduling.Scheduler.schedule ~influence:tree kernel in
+  let time c = Gpusim.Sim.time_us (Gpusim.Sim.run ~machine c) in
+  let isl_c = Codegen.Compile.lower ~vectorize:false isl_sched kernel in
+  let novec_c = Codegen.Compile.lower ~vectorize:false infl_sched kernel in
+  let infl_c = Codegen.Compile.lower ~vectorize:true ~vec_min_parallel:2048 infl_sched kernel in
+  let tvm_us =
+    List.fold_left
+      (fun acc c -> acc +. time c)
+      0.0
+      (Baselines.Tvm.compile kernel)
+  in
+  let vec = has_vector_loop infl_c.Codegen.Compile.ast in
+  let influenced =
+    (not infl_stats.Scheduling.Scheduler.influence_abandoned)
+    && ((not (rows_equal isl_sched infl_sched)) || vec)
+  in
+  { op_name = name;
+    isl_us = time isl_c;
+    tvm_us;
+    novec_us = time novec_c;
+    infl_us = time infl_c;
+    influenced;
+    vec
+  }
+
+let evaluate_suite ?machine ?(progress = fun _ -> ()) ops =
+  List.map
+    (fun (name, kernel) ->
+      progress name;
+      evaluate_op ?machine ~name kernel)
+    ops
+
+type aggregate = {
+  total : int;
+  vec_count : int;
+  infl_count : int;
+  isl_ms : float;
+  tvm_ms : float;
+  novec_ms : float;
+  infl_ms : float;
+  i_isl_ms : float;
+  i_tvm_ms : float;
+  i_novec_ms : float;
+  i_infl_ms : float;
+}
+
+let aggregate results =
+  let ms f = List.fold_left (fun acc r -> acc +. f r) 0.0 results /. 1000.0 in
+  let infl_only = List.filter (fun r -> r.influenced) results in
+  let ims f = List.fold_left (fun acc r -> acc +. f r) 0.0 infl_only /. 1000.0 in
+  { total = List.length results;
+    vec_count = List.length (List.filter (fun r -> r.vec) results);
+    infl_count = List.length infl_only;
+    isl_ms = ms (fun r -> r.isl_us);
+    tvm_ms = ms (fun r -> r.tvm_us);
+    novec_ms = ms (fun r -> r.novec_us);
+    infl_ms = ms (fun r -> r.infl_us);
+    i_isl_ms = ims (fun r -> r.isl_us);
+    i_tvm_ms = ims (fun r -> r.tvm_us);
+    i_novec_ms = ims (fun r -> r.novec_us);
+    i_infl_ms = ims (fun r -> r.infl_us)
+  }
+
+let speedup isl x = if x > 0.0 then isl /. x else nan
+
+let geomean xs =
+  match xs with
+  | [] -> nan
+  | _ ->
+    exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. float_of_int (List.length xs))

@@ -1,0 +1,55 @@
+(** Four-version evaluation of fused operators (the measurement harness
+    behind Table II).
+
+    For each operator, compiles and simulates:
+    - {b isl}: the baseline scheduler, no influence;
+    - {b tvm}: the TVM-style manual comparator (unfused, output-aligned);
+    - {b novec}: influenced scheduling with the vectorization pass off;
+    - {b infl}: influenced scheduling with explicit vector types.
+
+    An operator counts as {e influenced} when the injected constraints
+    changed compilation (different schedule rows than isl, or a
+    vectorization preparation); it counts as {e vec} when the backend pass
+    actually rewrote a loop with vector types. *)
+
+type op_result = {
+  op_name : string;
+  isl_us : float;
+  tvm_us : float;
+  novec_us : float;
+  infl_us : float;
+  influenced : bool;
+  vec : bool;
+}
+
+val evaluate_op :
+  ?machine:Gpusim.Machine.t -> name:string -> Ir.Kernel.t -> op_result
+
+val evaluate_suite :
+  ?machine:Gpusim.Machine.t ->
+  ?progress:(string -> unit) ->
+  (string * Ir.Kernel.t) list ->
+  op_result list
+
+type aggregate = {
+  total : int;
+  vec_count : int;
+  infl_count : int;
+  (* all operators, milliseconds *)
+  isl_ms : float;
+  tvm_ms : float;
+  novec_ms : float;
+  infl_ms : float;
+  (* influenced operators only, milliseconds *)
+  i_isl_ms : float;
+  i_tvm_ms : float;
+  i_novec_ms : float;
+  i_infl_ms : float;
+}
+
+val aggregate : op_result list -> aggregate
+
+val speedup : float -> float -> float
+(** [speedup isl x] = isl / x. *)
+
+val geomean : float list -> float

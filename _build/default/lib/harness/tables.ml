@@ -1,0 +1,57 @@
+let table1 fmt =
+  Format.fprintf fmt "TABLE I — TARGET END-TO-END WORKLOADS@.";
+  Format.fprintf fmt "%-14s %-5s %-22s %s@." "Network" "Type" "Dataset" "Fused ops";
+  List.iter
+    (fun (n : Ops.Networks.t) ->
+      Format.fprintf fmt "%-14s %-5s %-22s %d@." n.Ops.Networks.name n.kind n.dataset
+        (Ops.Networks.op_count n))
+    Ops.Networks.all
+
+let table2_header fmt =
+  Format.fprintf fmt
+    "TABLE II — FUSED OPERATORS EXECUTION TIMES (simulated V100)@.";
+  Format.fprintf fmt
+    "%-12s | %5s %4s %4s | %9s %9s %9s %9s | %5s %5s %5s | %9s %9s %9s %9s | %5s %5s %5s@."
+    "Network" "total" "vec" "infl" "isl(ms)" "tvm(ms)" "novec(ms)" "infl(ms)"
+    "tvm" "novec" "infl" "isl(ms)" "tvm(ms)" "novec(ms)" "infl(ms)" "tvm" "novec" "infl";
+  Format.fprintf fmt
+    "%-12s | %16s | %41s | %19s | %41s | %19s@."
+    "" "operator count" "all fused operators: time" "speedup"
+    "influenced only: time" "speedup"
+
+let table2_row fmt name results =
+  let a = Eval.aggregate results in
+  Format.fprintf fmt
+    "%-12s | %5d %4d %4d | %9.2f %9.2f %9.2f %9.2f | %5.2f %5.2f %5.2f | %9.2f %9.2f %9.2f %9.2f | %5.2f %5.2f %5.2f@."
+    name a.Eval.total a.vec_count a.infl_count a.isl_ms a.tvm_ms a.novec_ms a.infl_ms
+    (Eval.speedup a.isl_ms a.tvm_ms)
+    (Eval.speedup a.isl_ms a.novec_ms)
+    (Eval.speedup a.isl_ms a.infl_ms)
+    a.i_isl_ms a.i_tvm_ms a.i_novec_ms a.i_infl_ms
+    (Eval.speedup a.i_isl_ms a.i_tvm_ms)
+    (Eval.speedup a.i_isl_ms a.i_novec_ms)
+    (Eval.speedup a.i_isl_ms a.i_infl_ms)
+
+let table2 ?machine ?progress fmt networks =
+  table2_header fmt;
+  let all =
+    List.map
+      (fun (n : Ops.Networks.t) ->
+        let results = Eval.evaluate_suite ?machine ?progress (Lazy.force n.ops) in
+        table2_row fmt n.Ops.Networks.name results;
+        (n.Ops.Networks.name, results))
+      networks
+  in
+  all
+
+let geomean_line fmt per_network =
+  let speedups =
+    List.map
+      (fun (_, results) ->
+        let a = Eval.aggregate results in
+        Eval.speedup a.Eval.isl_ms a.infl_ms)
+      per_network
+  in
+  Format.fprintf fmt
+    "geomean infl speedup over isl across networks: %.2fx (paper: 1.7x)@."
+    (Eval.geomean speedups)

@@ -1,0 +1,187 @@
+open Polybase
+open Polyhedra
+open Ir
+
+type memory = (string, float array) Hashtbl.t
+
+let alloc (k : Kernel.t) =
+  let mem = Hashtbl.create 8 in
+  List.iter
+    (fun (t : Tensor.t) -> Hashtbl.replace mem t.Tensor.name (Array.make (Tensor.elems t) 0.0))
+    k.Kernel.tensors;
+  mem
+
+let randomize ?(seed = 42) (k : Kernel.t) =
+  let mem = alloc k in
+  let state = ref (seed land 0x3FFFFFFF) in
+  let next () =
+    (* xorshift-ish deterministic generator, identical across runs *)
+    state := (!state * 1103515245) + 12345 land max_int;
+    float_of_int (abs !state mod 1000) /. 250.0 -. 2.0
+  in
+  List.iter
+    (fun (t : Tensor.t) ->
+      let a = Hashtbl.find mem t.Tensor.name in
+      Array.iteri (fun i _ -> a.(i) <- next ()) a)
+    k.Kernel.tensors;
+  mem
+
+let copy mem =
+  let m = Hashtbl.create (Hashtbl.length mem) in
+  Hashtbl.iter (fun k v -> Hashtbl.replace m k (Array.copy v)) mem;
+  m
+
+let equal a b =
+  try
+    Hashtbl.fold
+      (fun k v acc ->
+        let w = Hashtbl.find b k in
+        acc && Array.for_all2 (fun x y -> Float.equal x y) v w)
+      a true
+  with Not_found -> false
+
+let max_abs_diff a b =
+  Hashtbl.fold
+    (fun k v acc ->
+      match Hashtbl.find_opt b k with
+      | None -> infinity
+      | Some w ->
+        Array.fold_left max acc
+          (Array.mapi (fun i x -> Float.abs (x -. w.(i))) v))
+    a 0.0
+
+(* ------------------------------------------------------------------ *)
+(* shared evaluation helpers                                            *)
+(* ------------------------------------------------------------------ *)
+
+let offset_of kernel (a : Access.t) env =
+  let t = Kernel.tensor kernel a.Access.tensor in
+  let idx = Access.eval env a in
+  let strides = Tensor.strides t in
+  List.fold_left ( + ) 0 (List.mapi (fun d i -> i * strides.(d)) idx)
+
+let exec_stmt kernel mem (s : Stmt.t) env =
+  let lookup (a : Access.t) =
+    (Hashtbl.find mem a.Access.tensor).(offset_of kernel a env)
+  in
+  let v = Expr.eval lookup s.Stmt.rhs in
+  (Hashtbl.find mem s.Stmt.write.Access.tensor).(offset_of kernel s.Stmt.write env) <- v
+
+(* ------------------------------------------------------------------ *)
+(* original order                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_original (k : Kernel.t) mem =
+  List.iter
+    (fun (s : Stmt.t) ->
+      (* enumerate the (rectangular or not) domain lexicographically *)
+      let binding : (string, Q.t) Hashtbl.t = Hashtbl.create 8 in
+      let env x = try Hashtbl.find binding x with Not_found -> Q.zero in
+      let rec loop iters domain =
+        match iters with
+        | [] -> exec_stmt k mem s env
+        | it :: rest ->
+          let lo =
+            match Polyhedron.minimum domain (Linexpr.var it) with
+            | `Value v -> Bigint.to_int (Q.ceil v)
+            | _ -> failwith "Interp: unbounded iterator"
+          in
+          let hi =
+            match Polyhedron.maximum domain (Linexpr.var it) with
+            | `Value v -> Bigint.to_int (Q.floor v)
+            | _ -> failwith "Interp: unbounded iterator"
+          in
+          for v = lo to hi do
+            let fixed =
+              Polyhedron.add_constraint domain
+                (Constr.eq (Linexpr.var it) (Linexpr.const_int v))
+            in
+            if not (Polyhedron.is_empty fixed) then begin
+              Hashtbl.replace binding it (Q.of_int v);
+              loop rest fixed
+            end
+          done;
+          Hashtbl.remove binding it
+      in
+      loop s.Stmt.iters s.Stmt.domain)
+    k.Kernel.stmts
+
+(* ------------------------------------------------------------------ *)
+(* generated AST                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_ast (k : Kernel.t) ast mem =
+  let binding : (string, Q.t) Hashtbl.t = Hashtbl.create 8 in
+  let env x = try Hashtbl.find binding x with Not_found -> Q.zero in
+  let eval_expr e = Linexpr.eval env e in
+  let eval_lower exprs =
+    List.fold_left
+      (fun acc e -> max acc (Bigint.to_int (Q.ceil (eval_expr e))))
+      min_int exprs
+  in
+  let eval_upper exprs =
+    List.fold_left
+      (fun acc e -> min acc (Bigint.to_int (Q.floor (eval_expr e))))
+      max_int exprs
+  in
+  let exec_instance (e : Codegen.Ast.exec) =
+    let stmt = Kernel.stmt k e.Codegen.Ast.stmt in
+    let ienv x =
+      match List.assoc_opt x e.Codegen.Ast.iter_map with
+      | Some expr -> eval_expr expr
+      | None -> env x
+    in
+    exec_stmt k mem stmt ienv
+  in
+  let rec go = function
+    | Codegen.Ast.Stmts l -> List.iter go l
+    | Codegen.Ast.If (cs, b) -> if List.for_all (Constr.holds env) cs then go b
+    | Codegen.Ast.Exec e -> exec_instance e
+    | Codegen.Ast.VecExec (e, _) ->
+      (* VecExec only occurs under a Vectorized loop, which dispatches to
+         [go_vec]; reaching it here would be a codegen bug *)
+      ignore e;
+      assert false
+    | Codegen.Ast.For l ->
+      let lo = eval_lower l.Codegen.Ast.lower in
+      let hi = eval_upper l.Codegen.Ast.upper in
+      let v = ref lo in
+      while !v <= hi do
+        Hashtbl.replace binding l.Codegen.Ast.var (Q.of_int !v);
+        (match l.Codegen.Ast.mark with
+         | Codegen.Ast.Vectorized (w, _) ->
+           (* execute the body once per lane, in order, re-binding the
+              loop variable; guards and scalar Execs inside see the lane-0
+              base value *)
+           go_vec l.Codegen.Ast.var !v w l.Codegen.Ast.body
+         | _ when l.Codegen.Ast.step > 1 ->
+           (* a vectorized strip that the mapping pass re-marked as a
+              thread axis: the step is the vector width *)
+           go_vec l.Codegen.Ast.var !v l.Codegen.Ast.step l.Codegen.Ast.body
+         | _ -> go l.Codegen.Ast.body);
+        v := !v + l.Codegen.Ast.step
+      done;
+      Hashtbl.remove binding l.Codegen.Ast.var
+  and go_vec var base w body =
+    (* Vector semantics: each VecExec covers lanes base..base+w-1 executed
+       in order; guarded/scalar parts evaluate at the base value. *)
+    match body with
+    | Codegen.Ast.Stmts l -> List.iter (go_vec var base w) l
+    | Codegen.Ast.If (cs, b) ->
+      Hashtbl.replace binding var (Q.of_int base);
+      if List.for_all (Constr.holds env) cs then go_vec var base w b
+    | Codegen.Ast.Exec e ->
+      Hashtbl.replace binding var (Q.of_int base);
+      exec_instance e
+    | Codegen.Ast.VecExec (e, w') ->
+      let lanes = min w w' in
+      for lane = 0 to lanes - 1 do
+        Hashtbl.replace binding var (Q.of_int (base + lane));
+        exec_instance e
+      done;
+      Hashtbl.replace binding var (Q.of_int base)
+    | Codegen.Ast.For _ as f ->
+      (* no For under a vectorized loop by construction *)
+      go f
+  in
+  go ast

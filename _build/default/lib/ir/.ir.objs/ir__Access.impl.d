@@ -1,0 +1,1 @@
+lib/ir/access.ml: Array Format Linexpr List Polybase Polyhedra Q String Tensor

@@ -1,0 +1,1 @@
+lib/ir/access.mli: Format Linexpr Polybase Polyhedra Tensor

@@ -1,0 +1,1 @@
+lib/ir/build.ml: Access Constr Kernel Linexpr List Polyhedra Polyhedron Printf Stmt Tensor

@@ -1,0 +1,1 @@
+lib/ir/build.mli: Access Expr Kernel Linexpr Polyhedra Polyhedron Stmt Tensor

@@ -1,0 +1,1 @@
+lib/ir/kernel.ml: Access Array Expr Format List Polybase Polyhedra Polyhedron Printf Q Stmt String Tensor

@@ -1,0 +1,1 @@
+lib/ir/stmt.ml: Access Expr Format Linexpr List Polybase Polyhedra Polyhedron Q String

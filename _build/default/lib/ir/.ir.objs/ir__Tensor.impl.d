@@ -1,0 +1,1 @@
+lib/ir/tensor.ml: Array Format List String

@@ -1,0 +1,1 @@
+lib/ir/tensor.mli: Format

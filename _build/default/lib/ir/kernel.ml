@@ -1,0 +1,145 @@
+open Polybase
+open Polyhedra
+
+type t = {
+  name : string;
+  tensors : Tensor.t list;
+  stmts : Stmt.t list;
+  params : (string * int) list;
+      (* symbolic sizes with the concrete binding used for execution *)
+}
+
+let check_unique what names =
+  let sorted = List.sort_uniq String.compare names in
+  if List.length sorted <> List.length names then
+    invalid_arg (Printf.sprintf "Kernel.make: duplicate %s" what)
+
+let make ?(params = []) ~name ~tensors ~stmts () =
+  check_unique "tensor names" (List.map (fun (t : Tensor.t) -> t.name) tensors);
+  check_unique "statement names" (List.map (fun (s : Stmt.t) -> s.name) stmts);
+  check_unique "iterator names"
+    (List.map fst params @ List.concat_map (fun (s : Stmt.t) -> s.iters) stmts);
+  let find_tensor tn = List.find_opt (fun (t : Tensor.t) -> t.name = tn) tensors in
+  List.iter
+    (fun (s : Stmt.t) ->
+      List.iter
+        (fun ((a : Access.t), _) ->
+          match find_tensor a.tensor with
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Kernel.make: %s accesses undeclared tensor %s"
+                 s.name a.tensor)
+          | Some t ->
+            if Tensor.rank t <> Access.rank a then
+              invalid_arg
+                (Printf.sprintf "Kernel.make: rank mismatch on %s in %s"
+                   a.tensor s.name))
+        (Stmt.accesses s))
+    stmts;
+  { name; tensors; stmts; params }
+
+let tensor k tn = List.find (fun (t : Tensor.t) -> t.name = tn) k.tensors
+let stmt k sn = List.find (fun (s : Stmt.t) -> s.name = sn) k.stmts
+
+let stmt_position k sn =
+  let rec go i = function
+    | [] -> raise Not_found
+    | (s : Stmt.t) :: _ when s.name = sn -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 k.stmts
+
+let validate_bounds k =
+  let problems = ref [] in
+  List.iter
+    (fun (s : Stmt.t) ->
+      List.iter
+        (fun ((a : Access.t), _) ->
+          let t = tensor k a.tensor in
+          List.iteri
+            (fun d idx ->
+              let report msg =
+                problems :=
+                  Printf.sprintf "%s: %s dim %d %s" s.name (Access.to_string a) d msg
+                  :: !problems
+              in
+              (match Polyhedron.minimum s.domain idx with
+               | `Value v -> if Q.sign v < 0 then report "can underflow"
+               | `Unbounded -> report "unbounded below"
+               | `Empty -> ());
+              match Polyhedron.maximum s.domain idx with
+              | `Value v ->
+                if Q.compare v (Q.of_int (t.dims.(d) - 1)) > 0 then report "can overflow"
+              | `Unbounded -> report "unbounded above"
+              | `Empty -> ())
+            a.index)
+        (Stmt.accesses s))
+    k.stmts;
+  match !problems with
+  | [] -> Ok ()
+  | ps -> Error (String.concat "; " (List.rev ps))
+
+let written_tensors k =
+  List.sort_uniq String.compare
+    (List.map (fun (s : Stmt.t) -> s.write.Access.tensor) k.stmts)
+
+let read_tensors k =
+  List.sort_uniq String.compare
+    (List.concat_map
+       (fun (s : Stmt.t) -> List.map (fun (a : Access.t) -> a.tensor) (Stmt.reads s))
+       k.stmts)
+
+let inputs k =
+  let written = written_tensors k in
+  let read = read_tensors k in
+  List.filter (fun (t : Tensor.t) -> List.mem t.name read && not (List.mem t.name written)) k.tensors
+
+let outputs k =
+  let written = written_tensors k in
+  List.filter (fun (t : Tensor.t) -> List.mem t.name written) k.tensors
+
+let pp fmt k =
+  Format.fprintf fmt "@[<v>kernel %s@," k.name;
+  List.iter (fun t -> Format.fprintf fmt "  tensor %a@," Tensor.pp t) k.tensors;
+  List.iter (fun s -> Format.fprintf fmt "  %a@," Stmt.pp s) k.stmts;
+  Format.fprintf fmt "@]"
+
+let to_string k = Format.asprintf "%a" pp k
+
+let param_names k = List.map fst k.params
+
+(* Scheduling context: parameters are positive sizes. *)
+let param_context k =
+  List.map (fun (p, _) -> Polyhedra.Constr.lower_bound p 1) k.params
+
+(* Substitute the concrete parameter values everywhere, yielding a
+   parameter-free kernel ready for code generation and simulation. *)
+let instantiate k =
+  if k.params = [] then k
+  else begin
+    let subst_expr e =
+      List.fold_left
+        (fun e (p, v) -> Polyhedra.Linexpr.subst p (Polyhedra.Linexpr.const_int v) e)
+        e k.params
+    in
+    let subst_domain d =
+      Polyhedra.Polyhedron.of_constraints
+        (List.map
+           (fun (c : Polyhedra.Constr.t) -> { c with Polyhedra.Constr.expr = subst_expr c.expr })
+           (Polyhedra.Polyhedron.constraints d))
+    in
+    let subst_access (a : Access.t) =
+      { a with Access.index = List.map subst_expr a.Access.index }
+    in
+    let stmts =
+      List.map
+        (fun (s : Stmt.t) ->
+          { s with
+            Stmt.domain = subst_domain s.Stmt.domain;
+            write = subst_access s.Stmt.write;
+            rhs = Expr.map_accesses subst_access s.Stmt.rhs
+          })
+        k.stmts
+    in
+    { k with stmts; params = [] }
+  end

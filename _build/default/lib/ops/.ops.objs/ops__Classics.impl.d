@@ -1,0 +1,1 @@
+lib/ops/classics.ml: Access Build Constr Expr Ir Kernel Linexpr List Polybase Polyhedra Polyhedron Stmt

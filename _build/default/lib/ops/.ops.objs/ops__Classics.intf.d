@@ -1,0 +1,1 @@
+lib/ops/classics.mli: Ir

@@ -1,0 +1,1 @@
+lib/ops/netgen.ml: Array Build Expr Ir List Printf

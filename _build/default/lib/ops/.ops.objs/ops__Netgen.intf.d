@@ -1,0 +1,1 @@
+lib/ops/netgen.mli: Ir

@@ -1,0 +1,1 @@
+lib/ops/networks.ml: Array Ir Lazy List Netgen Printf

@@ -1,0 +1,1 @@
+lib/ops/networks.mli: Ir

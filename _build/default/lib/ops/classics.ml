@@ -1,0 +1,288 @@
+open Ir
+
+let fig2 ?(n = 64) () =
+  let tensors =
+    [ Build.tensor "A" [ n; n ];
+      Build.tensor "B" [ n; n ];
+      Build.tensor "C" [ n; n ];
+      Build.tensor "D" [ n; n; n ]
+    ]
+  in
+  let x =
+    Build.stmt "X"
+      ~iters:[ ("iX", n); ("kX", n) ]
+      ~write:(Build.access "B" [ "iX"; "kX" ])
+      ~rhs:(Expr.Unop (Expr.Relu, Expr.load (Build.access "A" [ "iX"; "kX" ])))
+  in
+  let y =
+    let open Expr.Infix in
+    Build.stmt "Y"
+      ~iters:[ ("iY", n); ("jY", n); ("kY", n) ]
+      ~write:(Build.access "C" [ "iY"; "jY" ])
+      ~rhs:
+        (Expr.load (Build.access "C" [ "iY"; "jY" ])
+        + Expr.load (Build.access "B" [ "iY"; "kY" ])
+          * Expr.load (Build.access "D" [ "kY"; "iY"; "jY" ]))
+  in
+  Build.kernel "fig2_running_example" ~tensors ~stmts:[ x; y ]
+
+(* The running example with the paper's symbolic parameter N (Section III):
+   domains are 0 <= i < N; N carries a concrete binding for execution. *)
+let fig2_parametric ?(n = 64) () =
+  let open Polyhedra in
+  let dom iters =
+    Polyhedron.of_constraints
+      (List.concat_map
+         (fun i ->
+           [ Constr.lower_bound i 0;
+             Constr.leq (Linexpr.var i)
+               (Linexpr.add_term Polybase.Q.one "N" (Linexpr.const_int (-1)))
+           ])
+         iters)
+  in
+  let x =
+    Stmt.make ~name:"X" ~iters:[ "iX"; "kX" ] ~domain:(dom [ "iX"; "kX" ])
+      ~write:(Build.access "B" [ "iX"; "kX" ])
+      ~rhs:(Expr.Unop (Expr.Relu, Expr.load (Build.access "A" [ "iX"; "kX" ])))
+  in
+  let y =
+    let open Expr.Infix in
+    Stmt.make ~name:"Y" ~iters:[ "iY"; "jY"; "kY" ]
+      ~domain:(dom [ "iY"; "jY"; "kY" ])
+      ~write:(Build.access "C" [ "iY"; "jY" ])
+      ~rhs:
+        (Expr.load (Build.access "C" [ "iY"; "jY" ])
+        + Expr.load (Build.access "B" [ "iY"; "kY" ])
+          * Expr.load (Build.access "D" [ "kY"; "iY"; "jY" ]))
+  in
+  Kernel.make ~params:[ ("N", n) ] ~name:"fig2_parametric"
+    ~tensors:
+      [ Build.tensor "A" [ n; n ]; Build.tensor "B" [ n; n ];
+        Build.tensor "C" [ n; n ]; Build.tensor "D" [ n; n; n ]
+      ]
+    ~stmts:[ x; y ] ()
+
+let fused_mul_sub_mul_tensoradd ?(n = 128) ?(m = 768) () =
+  let t2 name = Build.tensor name [ n; m ] in
+  let tensors =
+    [ t2 "a"; t2 "b"; t2 "c"; t2 "d"; t2 "e"; t2 "t1"; t2 "t2"; t2 "t3"; t2 "out" ]
+  in
+  let ew name tout e iters =
+    Build.stmt name ~iters ~write:(Build.access tout [ fst (List.nth iters 0); fst (List.nth iters 1) ]) ~rhs:e
+  in
+  let open Expr.Infix in
+  let s0 =
+    ew "S0" "t1"
+      (Expr.load (Build.access "a" [ "i0"; "j0" ]) * Expr.load (Build.access "b" [ "i0"; "j0" ]))
+      [ ("i0", n); ("j0", m) ]
+  in
+  let s1 =
+    ew "S1" "t2"
+      (Expr.load (Build.access "t1" [ "i1"; "j1" ]) - Expr.load (Build.access "c" [ "i1"; "j1" ]))
+      [ ("i1", n); ("j1", m) ]
+  in
+  let s2 =
+    ew "S2" "t3"
+      (Expr.load (Build.access "t2" [ "i2"; "j2" ]) * Expr.load (Build.access "d" [ "i2"; "j2" ]))
+      [ ("i2", n); ("j2", m) ]
+  in
+  let s3 =
+    ew "S3" "out"
+      (Expr.load (Build.access "t3" [ "i3"; "j3" ]) + Expr.load (Build.access "e" [ "i3"; "j3" ]))
+      [ ("i3", n); ("j3", m) ]
+  in
+  Build.kernel "fused_mul_sub_mul_tensoradd" ~tensors ~stmts:[ s0; s1; s2; s3 ]
+
+let transpose_add ?(n = 64) ?(m = 256) () =
+  let tensors =
+    [ Build.tensor "a" [ m; n ]; Build.tensor "b" [ n; m ]; Build.tensor "out" [ n; m ] ]
+  in
+  let open Expr.Infix in
+  let s =
+    Build.stmt "T"
+      ~iters:[ ("i", n); ("j", m) ]
+      ~write:(Build.access "out" [ "i"; "j" ])
+      ~rhs:(Expr.load (Build.access "a" [ "j"; "i" ]) + Expr.load (Build.access "b" [ "i"; "j" ]))
+  in
+  Build.kernel "transpose_add" ~tensors ~stmts:[ s ]
+
+let cast_transpose ?(n = 64) ?(m = 256) () =
+  let tensors = [ Build.tensor "a" [ m; n ]; Build.tensor "out" [ n; m ] ] in
+  let s =
+    Build.stmt "T"
+      ~iters:[ ("i", n); ("j", m) ]
+      ~write:(Build.access "out" [ "i"; "j" ])
+      ~rhs:(Expr.load (Build.access "a" [ "j"; "i" ]))
+  in
+  Build.kernel "cast_transpose" ~tensors ~stmts:[ s ]
+
+let broadcast_bias_relu ?(n = 256) ?(c = 64) () =
+  let tensors =
+    [ Build.tensor "x" [ n; c ]; Build.tensor "bias" [ c ]; Build.tensor "out" [ n; c ] ]
+  in
+  let open Expr.Infix in
+  let s =
+    Build.stmt "B"
+      ~iters:[ ("i", n); ("j", c) ]
+      ~write:(Build.access "out" [ "i"; "j" ])
+      ~rhs:
+        (Expr.Unop
+           ( Expr.Relu,
+             Expr.load (Build.access "x" [ "i"; "j" ]) + Expr.load (Build.access "bias" [ "j" ]) ))
+  in
+  Build.kernel "broadcast_bias_relu" ~tensors ~stmts:[ s ]
+
+let reduce_2d ?(n = 128) ?(m = 128) () =
+  let tensors = [ Build.tensor "x" [ n; m ]; Build.tensor "out" [ n ] ] in
+  let open Expr.Infix in
+  let s =
+    Build.stmt "R"
+      ~iters:[ ("i", n); ("j", m) ]
+      ~write:(Build.access "out" [ "i" ])
+      ~rhs:(Expr.load (Build.access "out" [ "i" ]) + Expr.load (Build.access "x" [ "i"; "j" ]))
+  in
+  Build.kernel "reduce_2d" ~tensors ~stmts:[ s ]
+
+(* Layout permutation of the outer dimensions with the contiguous last
+   dimension preserved, as produced around Transpose nodes by graph-kernel
+   fusion.  The incoming loop order is hostile: the innermost loop [b]
+   strides every access, which is exactly the situation where the baseline
+   scheduler (which has no reason to reorder) generates very poor GPU code
+   and the influenced scheduler shines (Section VI: the ResNet cases). *)
+let permute_outer_bad ?(a = 32) ?(b = 32) ?(c = 64) () =
+  let tensors = [ Build.tensor "in" [ a; b; c ]; Build.tensor "out" [ b; a; c ] ] in
+  let s =
+    Build.stmt "P"
+      ~iters:[ ("pc", c); ("pa", a); ("pb", b) ]
+      ~write:(Build.access "out" [ "pb"; "pa"; "pc" ])
+      ~rhs:(Expr.load (Build.access "in" [ "pa"; "pb"; "pc" ]))
+  in
+  Build.kernel "permute_outer_bad" ~tensors ~stmts:[ s ]
+
+(* The same permutation fused with a scale, BatchMatMul-epilogue style. *)
+let permute_scale_fused ?(a = 32) ?(b = 32) ?(c = 64) () =
+  let tensors =
+    [ Build.tensor "in" [ a; b; c ];
+      Build.tensor "tmp" [ b; a; c ];
+      Build.tensor "out" [ b; a; c ]
+    ]
+  in
+  let open Expr.Infix in
+  let p =
+    Build.stmt "P"
+      ~iters:[ ("pc", c); ("pa", a); ("pb", b) ]
+      ~write:(Build.access "tmp" [ "pb"; "pa"; "pc" ])
+      ~rhs:(Expr.load (Build.access "in" [ "pa"; "pb"; "pc" ]))
+  in
+  let sscale =
+    Build.stmt "S"
+      ~iters:[ ("sb", b); ("sa", a); ("sc", c) ]
+      ~write:(Build.access "out" [ "sb"; "sa"; "sc" ])
+      ~rhs:(Expr.load (Build.access "tmp" [ "sb"; "sa"; "sc" ]) * Expr.const 0.125)
+  in
+  Build.kernel "permute_scale_fused" ~tensors ~stmts:[ p; sscale ]
+
+(* Row softmax as graph-kernel fusion sees it: two reductions and two
+   element-wise phases over one row.  Exercises multi-phase scheduling:
+   every consumer depends on a complete reduction of its row, so the
+   scheduler must keep the row loop fused and sequence the phases. *)
+let softmax ?(n = 128) ?(m = 64) () =
+  let t2 name = Build.tensor name [ n; m ] in
+  let t1 name = Build.tensor name [ n ] in
+  let tensors = [ t2 "x"; t1 "mx"; t2 "ex"; t1 "sum"; t2 "out" ] in
+  let open Expr.Infix in
+  let s0 =
+    Build.stmt "Smax"
+      ~iters:[ ("i0", n); ("j0", m) ]
+      ~write:(Build.access "mx" [ "i0" ])
+      ~rhs:
+        (Expr.Binop
+           ( Expr.Max,
+             Expr.load (Build.access "mx" [ "i0" ]),
+             Expr.load (Build.access "x" [ "i0"; "j0" ]) ))
+  in
+  let s1 =
+    Build.stmt "Sexp"
+      ~iters:[ ("i1", n); ("j1", m) ]
+      ~write:(Build.access "ex" [ "i1"; "j1" ])
+      ~rhs:
+        (Expr.Unop
+           ( Expr.Exp,
+             Expr.load (Build.access "x" [ "i1"; "j1" ])
+             - Expr.load (Build.access "mx" [ "i1" ]) ))
+  in
+  let s2 =
+    Build.stmt "Ssum"
+      ~iters:[ ("i2", n); ("j2", m) ]
+      ~write:(Build.access "sum" [ "i2" ])
+      ~rhs:(Expr.load (Build.access "sum" [ "i2" ]) + Expr.load (Build.access "ex" [ "i2"; "j2" ]))
+  in
+  let s3 =
+    Build.stmt "Sdiv"
+      ~iters:[ ("i3", n); ("j3", m) ]
+      ~write:(Build.access "out" [ "i3"; "j3" ])
+      ~rhs:(Expr.load (Build.access "ex" [ "i3"; "j3" ]) / Expr.load (Build.access "sum" [ "i3" ]))
+  in
+  Build.kernel "softmax" ~tensors ~stmts:[ s0; s1; s2; s3 ]
+
+(* 2x spatial downsampling: the loads have stride 2 everywhere, so only
+   the store can use vector types (condition (c) holds for the write
+   alone). *)
+let downsample_2x ?(n = 64) ?(m = 64) () =
+  let tensors = [ Build.tensor "x" [ 2 * n; 2 * m ]; Build.tensor "out" [ n; m ] ] in
+  let s =
+    Build.stmt "D"
+      ~iters:[ ("i", n); ("j", m) ]
+      ~write:(Build.access "out" [ "i"; "j" ])
+      ~rhs:
+        (Expr.load
+           (Access.make "x"
+              [ Polyhedra.Linexpr.of_int_terms [ (2, "i") ] 0;
+                Polyhedra.Linexpr.of_int_terms [ (2, "j") ] 0
+              ]))
+  in
+  Build.kernel "downsample_2x" ~tensors ~stmts:[ s ]
+
+(* out[i][j] = x[i][j] + x[i][j+1]: the shifted load is unit-stride but not
+   lane-0 aligned, so the vector pass keeps the store vectorized and the
+   shifted load crosses sector boundaries — a realistic mixed case. *)
+let shift_add ?(n = 64) ?(m = 64) () =
+  let tensors = [ Build.tensor "x" [ n; m + 1 ]; Build.tensor "out" [ n; m ] ] in
+  let open Expr.Infix in
+  let s =
+    Build.stmt "H"
+      ~iters:[ ("i", n); ("j", m) ]
+      ~write:(Build.access "out" [ "i"; "j" ])
+      ~rhs:
+        (Expr.load (Build.access "x" [ "i"; "j" ])
+        + Expr.load (Access.make "x" [ Build.idx "i"; Build.idx_plus "j" 1 ]))
+  in
+  Build.kernel "shift_add" ~tensors ~stmts:[ s ]
+
+let all =
+  [ ("fig2", fun () -> fig2 ());
+    ("fused_mul_sub_mul_tensoradd", fun () -> fused_mul_sub_mul_tensoradd ());
+    ("transpose_add", fun () -> transpose_add ());
+    ("cast_transpose", fun () -> cast_transpose ());
+    ("broadcast_bias_relu", fun () -> broadcast_bias_relu ());
+    ("reduce_2d", fun () -> reduce_2d ());
+    ("permute_outer_bad", fun () -> permute_outer_bad ());
+    ("permute_scale_fused", fun () -> permute_scale_fused ());
+    ("softmax", fun () -> softmax ());
+    ("downsample_2x", fun () -> downsample_2x ());
+    ("shift_add", fun () -> shift_add ())
+  ]
+
+let all_small =
+  [ ("fig2", fun () -> fig2 ~n:8 ());
+    ("fused_mul_sub_mul_tensoradd", fun () -> fused_mul_sub_mul_tensoradd ~n:4 ~m:8 ());
+    ("transpose_add", fun () -> transpose_add ~n:6 ~m:8 ());
+    ("cast_transpose", fun () -> cast_transpose ~n:8 ~m:4 ());
+    ("broadcast_bias_relu", fun () -> broadcast_bias_relu ~n:8 ~c:8 ());
+    ("reduce_2d", fun () -> reduce_2d ~n:4 ~m:8 ());
+    ("permute_outer_bad", fun () -> permute_outer_bad ~a:4 ~b:4 ~c:8 ());
+    ("permute_scale_fused", fun () -> permute_scale_fused ~a:4 ~b:4 ~c:8 ());
+    ("softmax", fun () -> softmax ~n:4 ~m:8 ());
+    ("downsample_2x", fun () -> downsample_2x ~n:4 ~m:4 ());
+    ("shift_add", fun () -> shift_add ~n:4 ~m:8 ())
+  ]

@@ -1,0 +1,1 @@
+lib/polybase/bigint.mli: Format

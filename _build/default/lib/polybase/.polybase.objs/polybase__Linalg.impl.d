@@ -1,0 +1,1 @@
+lib/polybase/linalg.ml: Array Bigint Format List Q String

@@ -1,0 +1,1 @@
+lib/polybase/linalg.mli: Format Q

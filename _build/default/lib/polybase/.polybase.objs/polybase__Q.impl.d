@@ -1,0 +1,1 @@
+lib/polybase/q.ml: Bigint Format

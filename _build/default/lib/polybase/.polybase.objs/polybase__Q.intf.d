@@ -1,0 +1,1 @@
+lib/polybase/q.mli: Bigint Format

@@ -1,0 +1,292 @@
+(* Sign-magnitude arbitrary-precision integers.
+   Magnitudes are little-endian limb arrays in base 2^30; the empty array is
+   zero.  Limb products fit in 60 bits, so all intermediate native-int
+   arithmetic below is overflow-free on 63-bit OCaml ints. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let limb_mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+(* ------------------------------------------------------------------ *)
+(* Magnitude primitives (arrays without sign, normalized: no high zeros) *)
+(* ------------------------------------------------------------------ *)
+
+let normalize mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do decr n done;
+  if !n = Array.length mag then mag else Array.sub mag 0 !n
+
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec scan i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else scan (i - 1) in
+    scan (la - 1)
+  end
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = (if la > lb then la else lb) + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land limb_mask;
+    carry := s lsr base_bits
+  done;
+  normalize r
+
+(* requires a >= b *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin r.(i) <- d + base; borrow := 1 end
+    else begin r.(i) <- d; borrow := 0 end
+  done;
+  assert (!borrow = 0);
+  normalize r
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        for j = 0 to lb - 1 do
+          let cur = r.(i + j) + (ai * b.(j)) + !carry in
+          r.(i + j) <- cur land limb_mask;
+          carry := cur lsr base_bits
+        done;
+        let k = ref (i + lb) in
+        while !carry <> 0 do
+          let cur = r.(!k) + !carry in
+          r.(!k) <- cur land limb_mask;
+          carry := cur lsr base_bits;
+          incr k
+        done
+      end
+    done;
+    normalize r
+  end
+
+let numbits_limb x =
+  let rec go n x = if x = 0 then n else go (n + 1) (x lsr 1) in
+  go 0 x
+
+let numbits_mag a =
+  let n = Array.length a in
+  if n = 0 then 0 else (n - 1) * base_bits + numbits_limb a.(n - 1)
+
+let bit_is_set a i =
+  let limb = i / base_bits and off = i mod base_bits in
+  limb < Array.length a && (a.(limb) lsr off) land 1 = 1
+
+let shift_left_one_bit a =
+  let la = Array.length a in
+  if la = 0 then a
+  else begin
+    let extra = if a.(la - 1) lsr (base_bits - 1) = 1 then 1 else 0 in
+    let r = Array.make (la + extra) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let v = (a.(i) lsl 1) lor !carry in
+      r.(i) <- v land limb_mask;
+      carry := v lsr base_bits
+    done;
+    if extra = 1 then r.(la) <- !carry;
+    normalize r
+  end
+
+(* divisor fits in one limb *)
+let divmod_mag_limb a d =
+  assert (d > 0 && d < base);
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (normalize q, !rem)
+
+(* binary long division for multi-limb divisors *)
+let divmod_mag a b =
+  if cmp_mag a b < 0 then ([||], a)
+  else if Array.length b = 1 then begin
+    let q, r = divmod_mag_limb a b.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  end else begin
+    let nbits = numbits_mag a in
+    let q = Array.make (Array.length a) 0 in
+    let r = ref [||] in
+    for i = nbits - 1 downto 0 do
+      r := shift_left_one_bit !r;
+      if bit_is_set a i then r := add_mag !r [| 1 |];
+      if cmp_mag !r b >= 0 then begin
+        r := sub_mag !r b;
+        q.(i / base_bits) <- q.(i / base_bits) lor (1 lsl (i mod base_bits))
+      end
+    done;
+    (normalize q, !r)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Signed interface                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let mk sign mag =
+  let mag = normalize mag in
+  if Array.length mag = 0 then { sign = 0; mag = [||] } else { sign; mag }
+
+let zero = { sign = 0; mag = [||] }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n > 0 then 1 else -1 in
+    let n = abs n in
+    (* abs min_int is itself negative; the polyhedral layer never builds it,
+       and we reject it to keep the magnitude code simple. *)
+    if n < 0 then invalid_arg "Bigint.of_int: min_int";
+    let rec limbs n = if n = 0 then [] else (n land limb_mask) :: limbs (n lsr base_bits) in
+    { sign; mag = Array.of_list (limbs n) }
+  end
+
+let one = of_int 1
+let minus_one = of_int (-1)
+let two = of_int 2
+
+let sign x = x.sign
+let is_zero x = x.sign = 0
+
+let neg x = if x.sign = 0 then x else { x with sign = -x.sign }
+let abs x = if x.sign < 0 then neg x else x
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then cmp_mag a.mag b.mag
+  else cmp_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then mk a.sign (add_mag a.mag b.mag)
+  else begin
+    let c = cmp_mag a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then mk a.sign (sub_mag a.mag b.mag)
+    else mk b.sign (sub_mag b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else mk (a.sign * b.sign) (mul_mag a.mag b.mag)
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let qm, rm = divmod_mag a.mag b.mag in
+  let q = mk (a.sign * b.sign) qm and r = mk a.sign rm in
+  (* adjust to Euclidean convention: 0 <= r < |b| *)
+  if r.sign >= 0 then (q, r)
+  else if b.sign > 0 then (sub q one, add r b)
+  else (add q one, sub r b)
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let fdiv a b =
+  (* floor(a/b); for b > 0 this is Euclidean q; handle b < 0 via negation *)
+  if b.sign = 0 then raise Division_by_zero;
+  if b.sign > 0 then fst (divmod a b) else fst (divmod (neg a) (neg b))
+
+let cdiv a b =
+  if b.sign = 0 then raise Division_by_zero;
+  neg (fdiv (neg a) b)
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if is_zero b then a else gcd b (rem a b)
+
+let lcm a b =
+  if is_zero a || is_zero b then zero
+  else begin
+    let g = gcd a b in
+    abs (mul (div a g) b)
+  end
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let to_int_opt x =
+  (* Conservative: accept up to 2 limbs plus a small third limb. *)
+  let n = Array.length x.mag in
+  if n = 0 then Some 0
+  else if n > 3 then None
+  else begin
+    let v = ref 0 and ok = ref true in
+    for i = n - 1 downto 0 do
+      if !v > (Stdlib.max_int - x.mag.(i)) lsr base_bits then ok := false
+      else v := (!v lsl base_bits) lor x.mag.(i)
+    done;
+    if !ok then Some (if x.sign < 0 then - !v else !v) else None
+  end
+
+let to_int x =
+  match to_int_opt x with
+  | Some v -> v
+  | None -> failwith "Bigint.to_int: overflow"
+
+let mul_int a n = mul a (of_int n)
+let add_int a n = add a (of_int n)
+
+let to_string x =
+  if x.sign = 0 then "0"
+  else begin
+    let chunks = ref [] in
+    let m = ref x.mag in
+    while Array.length !m > 0 do
+      let q, r = divmod_mag_limb !m 1_000_000_000 in
+      chunks := r :: !chunks;
+      m := q
+    done;
+    let buf = Buffer.create 32 in
+    if x.sign < 0 then Buffer.add_char buf '-';
+    (match !chunks with
+     | [] -> Buffer.add_char buf '0'
+     | first :: rest ->
+       Buffer.add_string buf (string_of_int first);
+       List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_string: empty";
+  let negative = s.[0] = '-' in
+  let start = if negative || s.[0] = '+' then 1 else 0 in
+  if start >= len then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  let ten = of_int 10 in
+  for i = start to len - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then invalid_arg "Bigint.of_string: bad digit";
+    acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+  done;
+  if negative then neg !acc else !acc
+
+let hash x = Hashtbl.hash (x.sign, x.mag)
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)

@@ -1,0 +1,68 @@
+(** Arbitrary-precision signed integers.
+
+    The polyhedral layer (Farkas elimination, exact simplex pivoting,
+    Fourier-Motzkin projection) produces intermediate coefficients that can
+    overflow native integers, so every exact computation in this repository
+    is carried out on this type.  The representation is sign-magnitude with
+    little-endian limbs in base 2^30. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+val two : t
+
+val of_int : int -> t
+
+val to_int : t -> int
+(** [to_int x] is the native integer equal to [x].
+    @raise Failure if [x] does not fit in a native [int]. *)
+
+val to_int_opt : t -> int option
+
+val of_string : string -> t
+(** Parses an optionally ['-']-prefixed decimal numeral.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** Euclidean division: [divmod a b = (q, r)] with [a = q*b + r] and
+    [0 <= r < |b|].  @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val fdiv : t -> t -> t
+(** Floor division: largest [q] with [q*b <= a] (for [b > 0]). *)
+
+val cdiv : t -> t -> t
+(** Ceiling division: smallest [q] with [q*b >= a] (for [b > 0]). *)
+
+val gcd : t -> t -> t
+(** Non-negative greatest common divisor; [gcd 0 0 = 0]. *)
+
+val lcm : t -> t -> t
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val mul_int : t -> int -> t
+val add_int : t -> int -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,86 @@
+type t = { num : Bigint.t; den : Bigint.t }
+
+let make n d =
+  if Bigint.is_zero d then raise Division_by_zero;
+  if Bigint.is_zero n then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let n, d = if Bigint.sign d < 0 then (Bigint.neg n, Bigint.neg d) else (n, d) in
+    let g = Bigint.gcd n d in
+    { num = Bigint.div n g; den = Bigint.div d g }
+  end
+
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_ints n d = make (Bigint.of_int n) (Bigint.of_int d)
+
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let num x = x.num
+let den x = x.den
+
+let sign x = Bigint.sign x.num
+let is_zero x = Bigint.is_zero x.num
+let is_integer x = Bigint.equal x.den Bigint.one
+
+let neg x = { x with num = Bigint.neg x.num }
+let abs x = { x with num = Bigint.abs x.num }
+
+let inv x =
+  if is_zero x then raise Division_by_zero;
+  if Bigint.sign x.num > 0 then { num = x.den; den = x.num }
+  else { num = Bigint.neg x.den; den = Bigint.neg x.num }
+
+let add a b =
+  make
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+let div a b = mul a (inv b)
+
+let compare a b =
+  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+
+let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let floor x = Bigint.fdiv x.num x.den
+let ceil x = Bigint.cdiv x.num x.den
+
+let to_bigint x =
+  if is_integer x then x.num else failwith "Q.to_bigint: not an integer"
+
+let to_int x = Bigint.to_int (to_bigint x)
+
+let to_float x =
+  (* Good enough for reporting: convert through strings only when the
+     components overflow native ints. *)
+  let conv b =
+    match Bigint.to_int_opt b with
+    | Some v -> float_of_int v
+    | None -> float_of_string (Bigint.to_string b)
+  in
+  conv x.num /. conv x.den
+
+let to_string x =
+  if is_integer x then Bigint.to_string x.num
+  else Bigint.to_string x.num ^ "/" ^ Bigint.to_string x.den
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+module Infix = struct
+  let ( +/ ) = add
+  let ( -/ ) = sub
+  let ( */ ) = mul
+  let ( // ) = div
+  let ( =/ ) a b = equal a b
+  let ( </ ) a b = compare a b < 0
+  let ( <=/ ) a b = compare a b <= 0
+  let ( >/ ) a b = compare a b > 0
+  let ( >=/ ) a b = compare a b >= 0
+end

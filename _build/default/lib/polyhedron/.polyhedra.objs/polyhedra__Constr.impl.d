@@ -1,0 +1,1 @@
+lib/polyhedron/constr.ml: Bigint Format Linexpr List Polybase Q

@@ -1,0 +1,1 @@
+lib/polyhedron/constr.mli: Format Linexpr Polybase Q

@@ -1,0 +1,1 @@
+lib/polyhedron/fourier_motzkin.ml: Constr Linexpr List Polybase Q Set

@@ -1,0 +1,1 @@
+lib/polyhedron/fourier_motzkin.mli: Constr

@@ -1,0 +1,1 @@
+lib/polyhedron/ilp.ml: Constr Linexpr List Polybase Q Simplex

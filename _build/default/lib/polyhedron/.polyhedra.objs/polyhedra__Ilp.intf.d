@@ -1,0 +1,1 @@
+lib/polyhedron/ilp.mli: Constr Linexpr Polybase Q

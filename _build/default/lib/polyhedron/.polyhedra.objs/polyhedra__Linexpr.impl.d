@@ -1,0 +1,1 @@
+lib/polyhedron/linexpr.ml: Format List Map Option Polybase Q String

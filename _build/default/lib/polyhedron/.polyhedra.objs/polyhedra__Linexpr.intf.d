@@ -1,0 +1,1 @@
+lib/polyhedron/linexpr.mli: Format Polybase Q

@@ -1,0 +1,1 @@
+lib/polyhedron/polyhedron.ml: Constr Format Fourier_motzkin Linexpr List Simplex String

@@ -1,0 +1,1 @@
+lib/polyhedron/polyhedron.mli: Constr Format Linexpr Polybase Q

@@ -1,0 +1,1 @@
+lib/polyhedron/simplex.ml: Array Constr Hashtbl Linexpr List Map Option Polybase Q String

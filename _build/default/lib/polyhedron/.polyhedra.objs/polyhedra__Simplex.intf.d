@@ -1,0 +1,1 @@
+lib/polyhedron/simplex.mli: Constr Linexpr Polybase Q

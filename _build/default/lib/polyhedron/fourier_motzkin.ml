@@ -1,0 +1,58 @@
+open Polybase
+
+exception Contradiction
+
+module Cset = Set.Make (Constr)
+
+let simplify cs =
+  let keep c =
+    match Constr.triviality c with
+    | Some true -> false
+    | Some false -> raise Contradiction
+    | None -> true
+  in
+  let cs = List.filter keep (List.map Constr.normalize cs) in
+  Cset.elements (Cset.of_list cs)
+
+let eliminate x cs =
+  let mentions, rest = List.partition (fun c -> not (Q.is_zero (Linexpr.coef c.Constr.expr x))) cs in
+  match mentions with
+  | [] -> cs
+  | _ ->
+    (* Prefer substitution through an equality: a*x + e = 0  =>  x = -e/a. *)
+    let eq_opt = List.find_opt (fun c -> c.Constr.kind = Constr.Eq) mentions in
+    (match eq_opt with
+     | Some ({ expr; _ } as eqc) ->
+       let a = Linexpr.coef expr x in
+       let e = Linexpr.add_term (Q.neg a) x expr in
+       (* expr = a*x + e, so x = -e/a *)
+       let x_value = Linexpr.scale (Q.neg (Q.inv a)) e in
+       let others = List.filter (fun c -> c != eqc) mentions in
+       simplify (rest @ List.map (Constr.subst x x_value) others)
+     | None ->
+       (* All inequalities: split by the sign of x's coefficient. *)
+       let pos, neg =
+         List.partition (fun c -> Q.sign (Linexpr.coef c.Constr.expr x) > 0) mentions
+       in
+       (* pos: a*x + e >= 0 with a > 0  =>  x >= -e/a  (lower bounds)
+          neg: a*x + e >= 0 with a < 0  =>  x <= e/(-a) (upper bounds)
+          combine every (lower, upper) pair. *)
+       let combos =
+         List.concat_map
+           (fun lo ->
+             let a = Linexpr.coef lo.Constr.expr x in
+             let elo = Linexpr.add_term (Q.neg a) x lo.Constr.expr in
+             let lower = Linexpr.scale (Q.neg (Q.inv a)) elo in
+             List.map
+               (fun hi ->
+                 let b = Linexpr.coef hi.Constr.expr x in
+                 let ehi = Linexpr.add_term (Q.neg b) x hi.Constr.expr in
+                 let upper = Linexpr.scale (Q.inv (Q.neg b)) ehi in
+                 (* upper >= lower *)
+                 Constr.geq upper lower)
+               neg)
+           pos
+       in
+       simplify (rest @ combos))
+
+let eliminate_all xs cs = List.fold_left (fun acc x -> eliminate x acc) cs xs

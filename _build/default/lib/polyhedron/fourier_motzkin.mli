@@ -1,0 +1,19 @@
+(** Fourier-Motzkin elimination of variables from affine constraint systems.
+
+    Used to project polyhedra (loop-bound computation in code generation) and
+    to eliminate Farkas multipliers from scheduling constraints, exactly as
+    Pluto does. *)
+
+val eliminate : string -> Constr.t list -> Constr.t list
+(** [eliminate x cs] is a system over the remaining variables whose solution
+    set is the projection of [cs] along [x] (over the rationals).
+    Equalities involving [x] are used as substitutions when possible. *)
+
+val eliminate_all : string list -> Constr.t list -> Constr.t list
+
+val simplify : Constr.t list -> Constr.t list
+(** Removes trivially-true and syntactically duplicate constraints (after
+    normalization).  @raise Contradiction if a trivially false constraint is
+    present. *)
+
+exception Contradiction

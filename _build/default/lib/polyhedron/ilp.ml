@@ -1,0 +1,62 @@
+open Polybase
+
+exception Limit_reached
+exception Unbounded_objective
+
+let default_max_nodes = 50_000
+
+(* Branch and bound.  The LP relaxation value is a valid lower bound, so a
+   node is pruned as soon as its relaxation cannot strictly improve on the
+   incumbent.  Bland's-rule simplex underneath keeps everything exact. *)
+let branch_and_bound ~max_nodes ~constraints ~integer_vars objective =
+  let nodes = ref 0 in
+  let rec bb cs incumbent =
+    incr nodes;
+    if !nodes > max_nodes then raise Limit_reached;
+    match Simplex.minimize cs objective with
+    | Simplex.Infeasible -> incumbent
+    | Simplex.Unbounded -> raise Unbounded_objective
+    | Simplex.Optimal (v, a) -> (
+      let dominated =
+        match incumbent with
+        | Some (best, _) -> Q.compare v best >= 0
+        | None -> false
+      in
+      if dominated then incumbent
+      else
+        match List.find_opt (fun x -> not (Q.is_integer (a x))) integer_vars with
+        | None -> Some (v, a)
+        | Some x ->
+          let qx = a x in
+          let below =
+            Constr.leq (Linexpr.var x) (Linexpr.const (Q.of_bigint (Q.floor qx)))
+          in
+          let above =
+            Constr.geq (Linexpr.var x) (Linexpr.const (Q.of_bigint (Q.ceil qx)))
+          in
+          let incumbent = bb (below :: cs) incumbent in
+          bb (above :: cs) incumbent)
+  in
+  bb constraints None
+
+let minimize ?(max_nodes = default_max_nodes) ~constraints ~integer_vars objective =
+  branch_and_bound ~max_nodes ~constraints ~integer_vars objective
+
+let lexmin ?(max_nodes = default_max_nodes) ~constraints ~integer_vars objectives =
+  let rec go cs = function
+    | [] -> (
+      (* Pure integer feasibility. *)
+      match branch_and_bound ~max_nodes ~constraints:cs ~integer_vars Linexpr.zero with
+      | Some (_, a) -> Some a
+      | None -> None)
+    | [ last ] -> (
+      match branch_and_bound ~max_nodes ~constraints:cs ~integer_vars last with
+      | Some (_, a) -> Some a
+      | None -> None)
+    | o :: rest -> (
+      match branch_and_bound ~max_nodes ~constraints:cs ~integer_vars o with
+      | None -> None
+      | Some (v, _) ->
+        go (Constr.eq0 (Linexpr.sub o (Linexpr.const v)) :: cs) rest)
+  in
+  go constraints objectives

@@ -1,0 +1,34 @@
+(** Lexicographic integer linear programming.
+
+    Branch-and-bound over the exact simplex of {!Simplex}.  This is the
+    solver behind every scheduling dimension computation: the polyhedral
+    scheduler minimizes a lexicographic sequence of objectives over the
+    space of scheduling coefficients with integrality requirements. *)
+
+open Polybase
+
+exception Limit_reached
+(** Raised when the node budget is exhausted before an optimum is proven. *)
+
+exception Unbounded_objective
+(** Raised when some objective is unbounded below on the feasible set;
+    callers are expected to pass explicitly bounded problems. *)
+
+val minimize :
+  ?max_nodes:int ->
+  constraints:Constr.t list ->
+  integer_vars:string list ->
+  Linexpr.t ->
+  (Q.t * (string -> Q.t)) option
+(** Minimum of one objective; [None] if infeasible. *)
+
+val lexmin :
+  ?max_nodes:int ->
+  constraints:Constr.t list ->
+  integer_vars:string list ->
+  Linexpr.t list ->
+  (string -> Q.t) option
+(** Lexicographic minimization: optimizes the first objective, fixes its
+    value, optimizes the second, and so on; the returned assignment attains
+    the lexicographic minimum and is integral on [integer_vars].  With an
+    empty objective list this is integer feasibility. *)

@@ -1,0 +1,89 @@
+(* [Bottom] marks a polyhedron detected as syntactically contradictory; it
+   avoids re-running simplification on known-empty sets. *)
+type t = Set of Constr.t list | Bottom
+
+let universe = Set []
+
+let of_constraints cs =
+  match Fourier_motzkin.simplify cs with
+  | cs -> Set cs
+  | exception Fourier_motzkin.Contradiction -> Bottom
+
+let constraints = function
+  | Set cs -> cs
+  | Bottom -> [ Constr.ge0 (Linexpr.const_int (-1)) ]
+
+let add_constraint p c =
+  match p with Bottom -> Bottom | Set cs -> of_constraints (c :: cs)
+
+let inter a b =
+  match (a, b) with
+  | Bottom, _ | _, Bottom -> Bottom
+  | Set ca, Set cb -> of_constraints (ca @ cb)
+
+let vars = function
+  | Bottom -> []
+  | Set cs ->
+    List.sort_uniq String.compare (List.concat_map Constr.vars cs)
+
+let is_empty = function
+  | Bottom -> true
+  | Set cs -> not (Simplex.is_feasible cs)
+
+let sample = function
+  | Bottom -> None
+  | Set cs -> Simplex.feasible_point cs
+
+let project_out xs = function
+  | Bottom -> Bottom
+  | Set cs -> (
+    match Fourier_motzkin.eliminate_all xs cs with
+    | cs -> Set cs
+    | exception Fourier_motzkin.Contradiction -> Bottom)
+
+let project_onto keep p =
+  let all = vars p in
+  let gone = List.filter (fun v -> not (List.mem v keep)) all in
+  project_out gone p
+
+let rename f = function
+  | Bottom -> Bottom
+  | Set cs -> Set (List.map (Constr.rename f) cs)
+
+let minimum p e =
+  match p with
+  | Bottom -> `Empty
+  | Set cs -> (
+    match Simplex.minimize cs e with
+    | Simplex.Infeasible -> `Empty
+    | Simplex.Unbounded -> `Unbounded
+    | Simplex.Optimal (v, _) -> `Value v)
+
+let maximum p e =
+  match p with
+  | Bottom -> `Empty
+  | Set cs -> (
+    match Simplex.maximize cs e with
+    | Simplex.Infeasible -> `Empty
+    | Simplex.Unbounded -> `Unbounded
+    | Simplex.Optimal (v, _) -> `Value v)
+
+let mem env = function
+  | Bottom -> false
+  | Set cs -> List.for_all (Constr.holds env) cs
+
+let equal_syntactic a b =
+  match (a, b) with
+  | Bottom, Bottom -> true
+  | Set ca, Set cb ->
+    List.length ca = List.length cb && List.for_all2 Constr.equal ca cb
+  | _ -> false
+
+let pp fmt = function
+  | Bottom -> Format.pp_print_string fmt "{ }"
+  | Set [] -> Format.pp_print_string fmt "{ universe }"
+  | Set cs ->
+    Format.fprintf fmt "@[<v 2>{ %s }@]"
+      (String.concat " and " (List.map Constr.to_string cs))
+
+let to_string p = Format.asprintf "%a" pp p

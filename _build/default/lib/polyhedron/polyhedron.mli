@@ -1,0 +1,40 @@
+(** Convex rational polyhedra described by affine constraints over named
+    variables.  This is the workhorse set abstraction: iteration domains,
+    dependence relations and scheduling solution spaces are all values of
+    this type. *)
+
+open Polybase
+
+type t
+
+val universe : t
+val of_constraints : Constr.t list -> t
+val constraints : t -> Constr.t list
+val add_constraint : t -> Constr.t -> t
+val inter : t -> t -> t
+val vars : t -> string list
+
+val is_empty : t -> bool
+(** Emptiness over the rationals (exact for the integer sets this repository
+    builds, conservative in general). *)
+
+val sample : t -> (string -> Q.t) option
+
+val project_onto : string list -> t -> t
+(** Keeps only the given variables, eliminating all others by
+    Fourier-Motzkin. *)
+
+val project_out : string list -> t -> t
+
+val rename : (string -> string) -> t -> t
+
+val minimum : t -> Linexpr.t -> [ `Empty | `Unbounded | `Value of Q.t ]
+val maximum : t -> Linexpr.t -> [ `Empty | `Unbounded | `Value of Q.t ]
+
+val mem : (string -> Q.t) -> t -> bool
+(** Whether a point satisfies all constraints. *)
+
+val equal_syntactic : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,230 @@
+open Polybase
+module Smap = Map.Make (String)
+
+type result =
+  | Infeasible
+  | Unbounded
+  | Optimal of Q.t * (string -> Q.t)
+
+(* The tableau keeps every number exact.  Layout:
+   - columns [0 .. ncols-1] are decision columns (x+ / x- pairs per source
+     variable, then slacks, then artificials), column [ncols] is the RHS;
+   - rows [0 .. nrows-1] are constraint rows, kept with RHS >= 0;
+   - [obj] is the reduced objective row: obj.(j) is the reduced cost of
+     column [j] and the current objective value is [Q.neg obj.(ncols)]. *)
+
+type tableau = {
+  mutable rows : Q.t array array;
+  mutable basis : int array; (* basis.(r) = basic column of row r *)
+  obj : Q.t array;
+  ncols : int;
+  allowed : bool array; (* artificial columns get disallowed in phase 2 *)
+}
+
+let pivot t r c =
+  let prow = t.rows.(r) in
+  let inv = Q.inv prow.(c) in
+  Array.iteri (fun j v -> prow.(j) <- Q.mul inv v) prow;
+  let eliminate row =
+    let f = row.(c) in
+    if not (Q.is_zero f) then
+      Array.iteri (fun j v -> row.(j) <- Q.sub v (Q.mul f prow.(j))) row
+  in
+  Array.iteri (fun i row -> if i <> r then eliminate row) t.rows;
+  eliminate t.obj;
+  t.basis.(r) <- c
+
+(* Bland's rule: entering column = lowest-index allowed column with negative
+   reduced cost; leaving row = minimum ratio, ties by lowest basis column. *)
+let find_entering t =
+  let rec go j =
+    if j >= t.ncols then None
+    else if t.allowed.(j) && Q.sign t.obj.(j) < 0 then Some j
+    else go (j + 1)
+  in
+  go 0
+
+let find_leaving t c =
+  let best = ref None in
+  Array.iteri
+    (fun r row ->
+      if Q.sign row.(c) > 0 then begin
+        let ratio = Q.div row.(t.ncols) row.(c) in
+        match !best with
+        | None -> best := Some (r, ratio)
+        | Some (br, bratio) ->
+          let cmp = Q.compare ratio bratio in
+          if cmp < 0 || (cmp = 0 && t.basis.(r) < t.basis.(br)) then
+            best := Some (r, ratio)
+      end)
+    t.rows;
+  Option.map fst !best
+
+type phase_outcome = Opt | Unb
+
+let run_simplex t =
+  let rec loop () =
+    match find_entering t with
+    | None -> Opt
+    | Some c -> (
+      match find_leaving t c with
+      | None -> Unb
+      | Some r ->
+        pivot t r c;
+        loop ())
+  in
+  loop ()
+
+let objective_value t = Q.neg t.obj.(t.ncols)
+
+(* Reduce the objective row against the current basis so that reduced costs
+   of basic columns are zero. *)
+let reduce_objective t =
+  Array.iteri
+    (fun r b ->
+      let f = t.obj.(b) in
+      if not (Q.is_zero f) then
+        Array.iteri (fun j v -> t.obj.(j) <- Q.sub v (Q.mul f t.rows.(r).(j))) t.obj)
+    t.basis
+
+let minimize constraints objective =
+  (* Filter out constraints without variables first. *)
+  let contradictory = ref false in
+  let constraints =
+    List.filter
+      (fun c ->
+        match Constr.triviality c with
+        | Some true -> false
+        | Some false ->
+          contradictory := true;
+          false
+        | None -> true)
+      constraints
+  in
+  if !contradictory then Infeasible
+  else begin
+    let var_tbl = Hashtbl.create 16 in
+    let var_order = ref [] in
+    let note_var x =
+      if not (Hashtbl.mem var_tbl x) then begin
+        Hashtbl.add var_tbl x (Hashtbl.length var_tbl);
+        var_order := x :: !var_order
+      end
+    in
+    List.iter (fun c -> List.iter note_var (Constr.vars c)) constraints;
+    List.iter note_var (Linexpr.vars objective);
+    let nvars = Hashtbl.length var_tbl in
+    let nslack = List.length (List.filter (fun c -> c.Constr.kind = Constr.Ge) constraints) in
+    let nrows = List.length constraints in
+    if nrows = 0 then begin
+      (* No constraints: objective is unbounded unless constant. *)
+      if Linexpr.is_const objective then
+        Optimal (Linexpr.constant objective, fun _ -> Q.zero)
+      else Unbounded
+    end
+    else begin
+      let ncols = (2 * nvars) + nslack + nrows in
+      let rhs = ncols in
+      let rows = Array.init nrows (fun _ -> Array.make (ncols + 1) Q.zero) in
+      let basis = Array.make nrows 0 in
+      let col_pos x = 2 * Hashtbl.find var_tbl x in
+      let col_neg x = col_pos x + 1 in
+      let slack_base = 2 * nvars in
+      let art_base = slack_base + nslack in
+      let slack_idx = ref 0 in
+      List.iteri
+        (fun r c ->
+          let row = rows.(r) in
+          Linexpr.fold_terms
+            (fun x q () ->
+              row.(col_pos x) <- Q.add row.(col_pos x) q;
+              row.(col_neg x) <- Q.sub row.(col_neg x) q)
+            c.Constr.expr ();
+          (* expr + c0 {>=,=} 0 becomes expr_vars {>=,=} -c0 *)
+          row.(rhs) <- Q.neg (Linexpr.constant c.Constr.expr);
+          (if c.Constr.kind = Constr.Ge then begin
+             row.(slack_base + !slack_idx) <- Q.minus_one;
+             incr slack_idx
+           end);
+          if Q.sign row.(rhs) < 0 then
+            Array.iteri (fun j v -> row.(j) <- Q.neg v) row;
+          row.(art_base + r) <- Q.one;
+          basis.(r) <- art_base + r)
+        constraints;
+      let allowed = Array.make ncols true in
+      let t = { rows; basis; obj = Array.make (ncols + 1) Q.zero; ncols; allowed } in
+      (* Phase 1: minimize the sum of artificials. *)
+      for r = 0 to nrows - 1 do
+        t.obj.(art_base + r) <- Q.one
+      done;
+      reduce_objective t;
+      (match run_simplex t with
+       | Unb -> assert false (* phase-1 objective is bounded below by 0 *)
+       | Opt -> ());
+      if Q.sign (objective_value t) > 0 then Infeasible
+      else begin
+        (* Drive remaining basic artificials out of the basis. *)
+        let keep = Array.make (Array.length t.rows) true in
+        Array.iteri
+          (fun r b ->
+            if b >= art_base then begin
+              let c = ref (-1) in
+              for j = 0 to art_base - 1 do
+                if !c = -1 && not (Q.is_zero t.rows.(r).(j)) then c := j
+              done;
+              if !c >= 0 then pivot t r !c else keep.(r) <- false
+            end)
+          t.basis;
+        (* Drop redundant rows and forbid artificial columns. *)
+        let kept_rows = ref [] and kept_basis = ref [] in
+        Array.iteri
+          (fun r row ->
+            if keep.(r) then begin
+              kept_rows := row :: !kept_rows;
+              kept_basis := t.basis.(r) :: !kept_basis
+            end)
+          t.rows;
+        t.rows <- Array.of_list (List.rev !kept_rows);
+        t.basis <- Array.of_list (List.rev !kept_basis);
+        for j = art_base to ncols - 1 do
+          allowed.(j) <- false
+        done;
+        (* Phase 2: install the real objective. *)
+        Array.fill t.obj 0 (ncols + 1) Q.zero;
+        Linexpr.fold_terms
+          (fun x q () ->
+            t.obj.(col_pos x) <- Q.add t.obj.(col_pos x) q;
+            t.obj.(col_neg x) <- Q.sub t.obj.(col_neg x) q)
+          objective ();
+        reduce_objective t;
+        match run_simplex t with
+        | Unb -> Unbounded
+        | Opt ->
+          let value = Array.make ncols Q.zero in
+          Array.iteri (fun r b -> value.(b) <- t.rows.(r).(rhs)) t.basis;
+          let env = Hashtbl.create nvars in
+          Hashtbl.iter
+            (fun x _ ->
+              Hashtbl.replace env x (Q.sub value.(col_pos x) value.(col_neg x)))
+            var_tbl;
+          let assignment x =
+            Option.value ~default:Q.zero (Hashtbl.find_opt env x)
+          in
+          Optimal (Q.add (objective_value t) (Linexpr.constant objective), assignment)
+      end
+    end
+  end
+
+let maximize constraints objective =
+  match minimize constraints (Linexpr.neg objective) with
+  | Infeasible -> Infeasible
+  | Unbounded -> Unbounded
+  | Optimal (v, a) -> Optimal (Q.neg v, a)
+
+let feasible_point constraints =
+  match minimize constraints Linexpr.zero with
+  | Infeasible -> None
+  | Unbounded -> None (* cannot happen with a constant objective *)
+  | Optimal (_, a) -> Some a
+
+let is_feasible constraints = Option.is_some (feasible_point constraints)

@@ -1,0 +1,24 @@
+(** Exact rational linear programming.
+
+    Two-phase primal simplex with Bland's rule over {!Polybase.Q}, so there
+    is no cycling and no rounding.  Variables are free (internally split into
+    positive and negative parts); constraints are {!Constr.t} lists. *)
+
+open Polybase
+
+type result =
+  | Infeasible
+  | Unbounded
+  | Optimal of Q.t * (string -> Q.t)
+      (** Optimal objective value and an optimal assignment.  The assignment
+          function returns zero for variables unconstrained by the problem. *)
+
+val minimize : Constr.t list -> Linexpr.t -> result
+
+val maximize : Constr.t list -> Linexpr.t -> result
+
+val feasible_point : Constr.t list -> (string -> Q.t) option
+(** Some satisfying assignment, if the constraint system is satisfiable over
+    the rationals. *)
+
+val is_feasible : Constr.t list -> bool

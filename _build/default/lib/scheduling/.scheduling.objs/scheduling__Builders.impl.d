@@ -1,0 +1,1 @@
+lib/scheduling/builders.ml: Array Constr Dependence Deps Farkas Ir Linalg Linexpr List Polybase Polyhedra Polyhedron Q Space

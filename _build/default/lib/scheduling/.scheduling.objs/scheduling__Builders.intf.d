@@ -1,0 +1,1 @@
+lib/scheduling/builders.mli: Constr Dependence Deps Ir Linexpr Polybase Polyhedra Polyhedron Q

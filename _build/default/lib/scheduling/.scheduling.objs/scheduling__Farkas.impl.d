@@ -1,0 +1,1 @@
+lib/scheduling/farkas.ml: Constr Fourier_motzkin Linexpr List Polybase Polyhedra Polyhedron Printf Q

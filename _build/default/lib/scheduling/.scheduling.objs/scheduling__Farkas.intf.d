@@ -1,0 +1,1 @@
+lib/scheduling/farkas.mli: Constr Linexpr Polyhedra Polyhedron

@@ -1,0 +1,1 @@
+lib/scheduling/influence.ml: Constr Format Linexpr List Polyhedra String

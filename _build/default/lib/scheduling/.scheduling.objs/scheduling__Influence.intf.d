@@ -1,0 +1,1 @@
+lib/scheduling/influence.mli: Constr Format Polyhedra

@@ -1,0 +1,1 @@
+lib/scheduling/legality.ml: Builders Constr Deps List Polybase Polyhedra Polyhedron Printf Q Schedule

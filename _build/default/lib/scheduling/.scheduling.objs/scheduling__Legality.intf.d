@@ -1,0 +1,1 @@
+lib/scheduling/legality.mli: Deps Ir Schedule

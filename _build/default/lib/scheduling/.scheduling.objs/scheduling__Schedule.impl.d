@@ -1,0 +1,1 @@
+lib/scheduling/schedule.ml: Array Format Linexpr List Polyhedra Printf String

@@ -1,0 +1,1 @@
+lib/scheduling/scheduler.ml: Array Builders Constr Deps Hashtbl Ilp Influence Ir Linalg Linexpr List Logs Option Polybase Polyhedra Polyhedron Printf Q Schedule Space

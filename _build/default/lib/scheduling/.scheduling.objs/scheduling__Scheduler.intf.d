@@ -1,0 +1,1 @@
+lib/scheduling/scheduler.mli: Influence Ir Schedule

@@ -1,0 +1,1 @@
+lib/scheduling/space.mli:

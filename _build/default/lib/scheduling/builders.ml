@@ -1,0 +1,190 @@
+open Polybase
+open Polyhedra
+open Deps
+
+type dep_state = {
+  dep : Dependence.t;
+  tgt_orig_iters : string list;
+  mutable band_rel : Polyhedron.t;
+  mutable active_rel : Polyhedron.t;
+  mutable retired : bool;
+}
+
+let init_dep_state kernel (dep : Dependence.t) =
+  let tgt = Ir.Kernel.stmt kernel dep.target in
+  { dep;
+    tgt_orig_iters = tgt.Ir.Stmt.iters;
+    band_rel = dep.rel;
+    active_rel = dep.rel;
+    retired = false
+  }
+
+let is_satisfied ds = Polyhedron.is_empty ds.active_rel
+
+(* Relation variables are source iterators, target iterators (possibly
+   renamed) and shared parameters.  [delta = phi_T(t) - phi_S(s)]. *)
+let delta_template ~dim ds =
+  let dep = ds.dep in
+  let src = dep.source and tgt = dep.target in
+  let tgt_assoc = List.combine dep.tgt_iters ds.tgt_orig_iters in
+  let coef_of v =
+    match List.assoc_opt v tgt_assoc with
+    | Some orig -> Linexpr.var (Space.coef_var ~stmt:tgt ~dim (Space.Iter orig))
+    | None ->
+      if List.mem v dep.src_iters then
+        Linexpr.var ~coef:Q.minus_one (Space.coef_var ~stmt:src ~dim (Space.Iter v))
+      else
+        (* shared parameter *)
+        Linexpr.sub
+          (Linexpr.var (Space.coef_var ~stmt:tgt ~dim (Space.Param v)))
+          (Linexpr.var (Space.coef_var ~stmt:src ~dim (Space.Param v)))
+  in
+  let const =
+    Linexpr.sub
+      (Linexpr.var (Space.coef_var ~stmt:tgt ~dim Space.Const))
+      (Linexpr.var (Space.coef_var ~stmt:src ~dim Space.Const))
+  in
+  (coef_of, const)
+
+let delta_concrete ds ~src_expr ~tgt_expr =
+  let dep = ds.dep in
+  let rename x =
+    match
+      List.find_opt (fun (orig, _) -> orig = x) (List.combine ds.tgt_orig_iters dep.tgt_iters)
+    with
+    | Some (_, renamed) -> renamed
+    | None -> x
+  in
+  Linexpr.sub (Linexpr.rename rename tgt_expr) src_expr
+
+let validity ?slack ~dim ds =
+  let coef_of, const = delta_template ~dim ds in
+  let const =
+    match slack with
+    | None -> const
+    | Some v -> Linexpr.add_term Q.minus_one v const
+  in
+  Farkas.nonneg_on ~coef_of ~const ds.band_rel
+
+let coincidence ~dim ds =
+  if Polyhedron.is_empty ds.active_rel then []
+  else begin
+    let coef_of, const = delta_template ~dim ds in
+    let neg_coef v = Linexpr.neg (coef_of v) in
+    Farkas.nonneg_on ~coef_of ~const ds.active_rel
+    @ Farkas.nonneg_on ~coef_of:neg_coef ~const:(Linexpr.neg const) ds.active_rel
+  end
+
+let proximity ~dim ~params ds =
+  if Polyhedron.is_empty ds.active_rel then []
+  else begin
+    let coef_of, const = delta_template ~dim ds in
+    (* u . p + w - delta >= 0.  Parameters appear both as relation variables
+       (with schedule-coefficient multipliers) and in the bound. *)
+    let bound_coef v =
+      if List.mem v params then Linexpr.add_term Q.one (Space.bound_u v) (Linexpr.neg (coef_of v))
+      else Linexpr.neg (coef_of v)
+    in
+    let bound_const = Linexpr.add_term Q.one Space.bound_w (Linexpr.neg const) in
+    Farkas.nonneg_on ~coef_of:bound_coef ~const:bound_const ds.active_rel
+  end
+
+let progression ?(negate = false) ~dim ~stmt ~prev_iter_rows () =
+  let iters = stmt.Ir.Stmt.iters in
+  let n = List.length iters in
+  let basis =
+    if Array.length prev_iter_rows = 0 then
+      Array.to_list (Linalg.identity n)
+    else Linalg.nullspace prev_iter_rows
+  in
+  let basis =
+    if negate then List.map (Array.map Polybase.Q.neg) basis else basis
+  in
+  if basis = [] then None
+  else begin
+    let h =
+      List.map
+        (fun it -> Linexpr.var (Space.coef_var ~stmt:stmt.Ir.Stmt.name ~dim (Space.Iter it)))
+        iters
+    in
+    let dot row =
+      List.fold_left2
+        (fun acc coeff e -> Linexpr.add acc (Linexpr.scale coeff e))
+        Linexpr.zero (Array.to_list row) h
+    in
+    let per_row = List.map (fun row -> Constr.ge0 (dot row)) basis in
+    let total = List.fold_left (fun acc row -> Linexpr.add acc (dot row)) Linexpr.zero basis in
+    Some (Constr.ge0 (Linexpr.add total (Linexpr.const_int (-1))) :: per_row)
+  end
+
+let var_bounds ~dim ~stmts ~params ~coef_bound ~const_bound =
+  let for_stmt (s : Ir.Stmt.t) =
+    let name = s.Ir.Stmt.name in
+    let iter_bounds =
+      List.concat_map
+        (fun it ->
+          let v = Space.coef_var ~stmt:name ~dim (Space.Iter it) in
+          [ Constr.lower_bound v 0; Constr.upper_bound v coef_bound ])
+        s.Ir.Stmt.iters
+    in
+    let param_bounds =
+      List.concat_map
+        (fun p ->
+          let v = Space.coef_var ~stmt:name ~dim (Space.Param p) in
+          [ Constr.lower_bound v 0; Constr.upper_bound v coef_bound ])
+        params
+    in
+    let cv = Space.coef_var ~stmt:name ~dim Space.Const in
+    iter_bounds @ param_bounds
+    @ [ Constr.lower_bound cv 0; Constr.upper_bound cv const_bound ]
+  in
+  let bound_vars =
+    Constr.lower_bound Space.bound_w 0
+    :: List.map (fun p -> Constr.lower_bound (Space.bound_u p) 0) params
+  in
+  bound_vars @ List.concat_map for_stmt stmts
+
+let objectives ~dim ~stmts ~params =
+  let sum_over f = List.fold_left (fun acc x -> Linexpr.add acc (f x)) Linexpr.zero in
+  let u_sum = sum_over (fun p -> Linexpr.var (Space.bound_u p)) params in
+  let w = Linexpr.var Space.bound_w in
+  let param_sum =
+    sum_over
+      (fun (s : Ir.Stmt.t) ->
+        sum_over
+          (fun p -> Linexpr.var (Space.coef_var ~stmt:s.Ir.Stmt.name ~dim (Space.Param p)))
+          params)
+      stmts
+  in
+  let const_sum =
+    sum_over
+      (fun (s : Ir.Stmt.t) ->
+        Linexpr.var (Space.coef_var ~stmt:s.Ir.Stmt.name ~dim Space.Const))
+      stmts
+  in
+  (* Position-weighted iterator sum: ties broken toward the original loop
+     order, emulating isl's preference for identity-like schedules. *)
+  let iter_weighted =
+    sum_over
+      (fun (s : Ir.Stmt.t) ->
+        List.fold_left
+          (fun (acc, j) it ->
+            ( Linexpr.add_term (Q.of_int (j + 1))
+                (Space.coef_var ~stmt:s.Ir.Stmt.name ~dim (Space.Iter it))
+                acc,
+              j + 1 ))
+          (Linexpr.zero, 0) s.Ir.Stmt.iters
+        |> fst)
+      stmts
+  in
+  let base = [ w; param_sum; const_sum; iter_weighted ] in
+  if params = [] then base else u_sum :: base
+
+let ilp_vars ~dim ~stmts ~params =
+  List.concat_map
+    (fun (s : Ir.Stmt.t) ->
+      let name = s.Ir.Stmt.name in
+      (Space.coef_var ~stmt:name ~dim Space.Const
+       :: List.map (fun it -> Space.coef_var ~stmt:name ~dim (Space.Iter it)) s.Ir.Stmt.iters)
+      @ List.map (fun p -> Space.coef_var ~stmt:name ~dim (Space.Param p)) params)
+    stmts

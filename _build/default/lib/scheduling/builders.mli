@@ -1,0 +1,84 @@
+(** Constraint builders for the influenced scheduling construction
+    (Section IV-A): validity, coincidence, reuse-distance (proximity)
+    bounds, progression, coefficient bounds and objective functions.
+
+    All constraints are expressed over the {!Space} coefficient variables
+    of one scheduling dimension; the scheduler assembles and solves them. *)
+
+open Polybase
+open Polyhedra
+open Deps
+
+(** Scheduling state of one dependence relation.
+
+    [band_rel] is the relation used for validity within the current
+    permutable band (snapshot at the band start); [active_rel] shrinks as
+    dimensions are committed (intersection with zero-distance) and the
+    dependence is strongly satisfied exactly when it becomes empty.
+    [retired] marks dependences dropped from constraint construction at a
+    band boundary. *)
+type dep_state = {
+  dep : Dependence.t;
+  tgt_orig_iters : string list;
+  mutable band_rel : Polyhedron.t;
+  mutable active_rel : Polyhedron.t;
+  mutable retired : bool;
+}
+
+val init_dep_state : Ir.Kernel.t -> Dependence.t -> dep_state
+
+val is_satisfied : dep_state -> bool
+(** Strongly satisfied: no pair of dependent instances is left with equal
+    schedule prefix. *)
+
+val delta_template :
+  dim:int -> dep_state -> (string -> Linexpr.t) * Linexpr.t
+(** The schedule-difference [phi_T(t) - phi_S(s)] at a dimension, as a
+    coefficient template over the relation's variables: a function giving
+    the (unknown-coefficient) multiplier of each relation variable, and the
+    constant part.  Feeds {!Farkas.nonneg_on}. *)
+
+val delta_concrete :
+  dep_state -> src_expr:Linexpr.t -> tgt_expr:Linexpr.t -> Linexpr.t
+(** The schedule difference for already-fixed schedule rows, as an affine
+    expression over the relation's variables. *)
+
+val validity : ?slack:string -> dim:int -> dep_state -> Constr.t list
+(** Equation 1 (weak satisfaction, [delta >= 0]) over [band_rel]).  With
+    [slack] the condition becomes [delta >= slack]: a 0/1 slack variable
+    per dependence lets a Feautrier-style dimension maximize the number of
+    strongly satisfied dependences. *)
+
+val coincidence : dim:int -> dep_state -> Constr.t list
+(** Zero reuse distance ([delta = 0]) over [active_rel] — the
+    space-partition constraint of Lim and Lam. *)
+
+val proximity : dim:int -> params:string list -> dep_state -> Constr.t list
+(** Equation 2: [delta <= u . p + w] over [active_rel]. *)
+
+val progression :
+  ?negate:bool -> dim:int -> stmt:Ir.Stmt.t -> prev_iter_rows:Q.t array array ->
+  unit -> Constr.t list option
+(** Equations 3 and 4.  [None] when the statement's schedule is already
+    full-rank (no further constraint: the row may be trivial).  The
+    orthogonal-subspace basis orientation is arbitrary and equation 4 keeps
+    only its non-negative cone; [negate] flips the basis, the scheduler's
+    last resort when the default cone excludes every valid row (the
+    over-constraining the paper acknowledges in Section IV-A3). *)
+
+val var_bounds :
+  dim:int -> stmts:Ir.Stmt.t list -> params:string list -> coef_bound:int ->
+  const_bound:int -> Constr.t list
+
+val objectives :
+  dim:int -> stmts:Ir.Stmt.t list -> params:string list -> Linexpr.t list
+(** Lexicographic objectives: isl's [(sum u, w)] proximity cost (equation 2
+    footnote), then parameter-coefficient sums, constant sums, and a
+    position-weighted iterator-coefficient sum whose effect is to prefer
+    the original loop order among otherwise equivalent solutions (the
+    documented tendency of isl this work compares against). *)
+
+val ilp_vars :
+  dim:int -> stmts:Ir.Stmt.t list -> params:string list -> string list
+(** The coefficient variables of one dimension (the integer variables of
+    the per-dimension ILP). *)

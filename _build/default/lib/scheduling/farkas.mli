@@ -1,0 +1,25 @@
+(** The affine form of Farkas' lemma (Feautrier).
+
+    An affine function is non-negative everywhere on a polyhedron iff it is
+    a non-negative affine combination of the polyhedron's constraints.  This
+    turns universally-quantified conditions such as the validity constraint
+    (equation 1) into finitely many affine constraints on the scheduling
+    coefficients; the Farkas multipliers are then eliminated with
+    Fourier-Motzkin, as in Pluto. *)
+
+open Polyhedra
+
+val nonneg_on :
+  coef_of:(string -> Linexpr.t) ->
+  const:Linexpr.t ->
+  Polyhedron.t ->
+  Constr.t list
+(** [nonneg_on ~coef_of ~const p] is a set of constraints on the unknowns
+    appearing in the coefficient expressions, equivalent to:
+
+    for every point [x] of [p]:
+    [sum_v coef_of v * x_v + const >= 0].
+
+    [coef_of v] must be given for every variable [v] of [p] (and is an
+    affine expression over the scheduling-coefficient unknowns).  [p] must
+    not be empty. *)

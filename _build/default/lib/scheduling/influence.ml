@@ -1,0 +1,55 @@
+open Polyhedra
+
+type node = {
+  label : string;
+  constrs : Constr.t list;
+  require_parallel : bool;
+  payload : (string * string) list;
+  objectives : (int * Linexpr.t) list;
+  children : node list;
+}
+
+type t = node list
+
+let node ?(label = "") ?(require_parallel = false) ?(payload = []) ?(objectives = [])
+    ?(children = []) constrs =
+  { label; constrs; require_parallel; payload; objectives; children }
+
+let empty = []
+
+let rec node_depth n =
+  1 + List.fold_left (fun acc c -> max acc (node_depth c)) 0 n.children
+
+let depth t = List.fold_left (fun acc n -> max acc (node_depth n)) 0 t
+
+let rec node_size n = 1 + List.fold_left (fun acc c -> acc + node_size c) 0 n.children
+
+let size t = List.fold_left (fun acc n -> acc + node_size n) 0 t
+
+let rec node_leaves n =
+  match n.children with
+  | [] -> [ n ]
+  | cs -> List.concat_map node_leaves cs
+
+let leaves t = List.concat_map node_leaves t
+
+let pp fmt t =
+  let rec pp_node prefix fmt n =
+    let label = if n.label = "" then "node" else n.label in
+    Format.fprintf fmt "%s%s%s%s@,"
+      prefix label
+      (if n.require_parallel then " [parallel]" else "")
+      (match n.constrs with
+       | [] -> " {no constraints}"
+       | cs -> " { " ^ String.concat " ; " (List.map Constr.to_string cs) ^ " }");
+    List.iter (fun c -> pp_node (prefix ^ "  ") fmt c) n.children
+  in
+  Format.fprintf fmt "@[<v>";
+  List.iteri
+    (fun i n ->
+      Format.fprintf fmt "branch %d (priority %d):@," i i;
+      pp_node "  " fmt n)
+    t;
+  Format.fprintf fmt "@]"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,82 @@
+open Polyhedra
+
+type dim_kind =
+  | Loop of { coincident : bool }
+  | Scalar
+
+type row = {
+  kind : dim_kind;
+  exprs : (string * Linexpr.t) list;
+}
+
+type t = {
+  kernel_name : string;
+  stmt_names : string list;
+  rows : row list;
+  annotations : (string * string) list;
+}
+
+let dims t = List.length t.rows
+
+let expr_for t ~dim ~stmt =
+  let row = List.nth t.rows dim in
+  List.assoc stmt row.exprs
+
+let date t ~stmt env =
+  List.map (fun row -> Linexpr.eval env (List.assoc stmt row.exprs)) t.rows
+
+let stmt_matrix t ~stmt ~iters =
+  let rows =
+    List.map
+      (fun row ->
+        let e = List.assoc stmt row.exprs in
+        Array.of_list (List.map (fun it -> Linexpr.coef e it) iters))
+      t.rows
+  in
+  Array.of_list rows
+
+let annotation t key = List.assoc_opt key t.annotations
+
+let instantiate params t =
+  let subst e =
+    List.fold_left
+      (fun e (p, v) -> Linexpr.subst p (Linexpr.const_int v) e)
+      e params
+  in
+  { t with
+    rows =
+      List.map
+        (fun row -> { row with exprs = List.map (fun (s, e) -> (s, subst e)) row.exprs })
+        t.rows
+  }
+
+let add_annotations t kvs = { t with annotations = kvs @ t.annotations }
+
+let is_trivial_row row ~stmt =
+  match List.assoc_opt stmt row.exprs with
+  | None -> true
+  | Some e -> Linexpr.vars e = []
+
+let kind_string = function
+  | Loop { coincident = true } -> "loop(parallel)"
+  | Loop { coincident = false } -> "loop"
+  | Scalar -> "scalar"
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>schedule of %s:@," t.kernel_name;
+  List.iteri
+    (fun d row ->
+      Format.fprintf fmt "  dim %d [%s]: %s@," d (kind_string row.kind)
+        (String.concat "  "
+           (List.map
+              (fun (s, e) -> Printf.sprintf "%s: %s" s (Linexpr.to_string e))
+              row.exprs)))
+    t.rows;
+  (match t.annotations with
+   | [] -> ()
+   | kvs ->
+     Format.fprintf fmt "  annotations: %s@,"
+       (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)));
+  Format.fprintf fmt "@]"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,57 @@
+(** Computed multidimensional affine schedules.
+
+    A schedule assigns every statement a list of affine expressions over its
+    iterators (one per scheduling dimension, outermost first): the logical
+    date of Section III-B.  Rows also carry the properties codegen needs
+    (coincidence for parallel marking, scalar rows for statement
+    interleaving) and the annotations deposited by the influence tree's
+    leaf (vectorization preparation). *)
+
+open Polybase
+open Polyhedra
+
+type dim_kind =
+  | Loop of { coincident : bool }
+      (** a real loop dimension; [coincident] means no active dependence is
+          carried: the loop can be marked parallel *)
+  | Scalar  (** statement interleaving inserted by SCC separation *)
+
+type row = {
+  kind : dim_kind;
+  exprs : (string * Linexpr.t) list;
+      (** per-statement scheduling expression over that statement's
+          iterators (and parameters) *)
+}
+
+type t = {
+  kernel_name : string;
+  stmt_names : string list;
+  rows : row list;  (** outermost first *)
+  annotations : (string * string) list;
+}
+
+val dims : t -> int
+
+val expr_for : t -> dim:int -> stmt:string -> Linexpr.t
+(** @raise Not_found if the statement is unknown. *)
+
+val date : t -> stmt:string -> (string -> Q.t) -> Q.t list
+(** Logical date of one statement instance. *)
+
+val stmt_matrix : t -> stmt:string -> iters:string list -> Q.t array array
+(** The iterator part [H_S] of the transformation matrix: one row per
+    schedule dimension, one column per iterator. *)
+
+val annotation : t -> string -> string option
+
+val instantiate : (string * int) list -> t -> t
+(** Substitutes concrete values for global parameters in every row; pair
+    with {!Ir.Kernel.instantiate} before code generation. *)
+
+val add_annotations : t -> (string * string) list -> t
+
+val is_trivial_row : row -> stmt:string -> bool
+(** Whether the row's expression for a statement involves no iterator. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,601 @@
+open Polybase
+open Polyhedra
+
+type config = {
+  coef_bound : int;
+  const_bound : int;
+  max_ilp_nodes : int;
+  include_input_proximity : bool;
+  feautrier_fallback : bool;
+}
+
+let default_config =
+  { coef_bound = 4; const_bound = 4; max_ilp_nodes = 200_000;
+    include_input_proximity = false; feautrier_fallback = false }
+
+type stats = {
+  mutable ilp_solves : int;
+  mutable loop_dims : int;
+  mutable scalar_dims : int;
+  mutable coincidence_failures : int;
+  mutable band_ends : int;
+  mutable sibling_moves : int;
+  mutable ancestor_backtracks : int;
+  mutable scc_separations : int;
+  mutable influence_abandoned : bool;
+}
+
+exception Failure_no_schedule of string
+
+let log_src = Logs.Src.create "akg.scheduler" ~doc:"influenced scheduling construction"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Depth-first cursor into the influence tree.  [parents] holds, innermost
+   first, the remaining (lower-priority) siblings of each ancestor together
+   with the loop ordinal that ancestor applies to. *)
+type cursor = {
+  node : Influence.node;
+  right : Influence.node list;
+  parents : (Influence.node list * int) list;
+  ordinal : int;
+}
+
+type dep_snapshot = {
+  ds_band : Polyhedron.t;
+  ds_active : Polyhedron.t;
+  ds_retired : bool;
+  ds_satisfied : bool;
+}
+
+type snapshot = {
+  s_rows : Schedule.row list;
+  s_env : (string * Q.t) list;
+  s_dep : dep_snapshot array;
+  s_prox : dep_snapshot array;
+  s_payload : (string * string) list;
+}
+
+(* Strongly connected components by mutual reachability; kernels have a
+   handful of statements, so the cubic closure is fine. *)
+let sccs stmt_names edges =
+  let n = List.length stmt_names in
+  let index name =
+    let rec go i = function
+      | [] -> raise Not_found
+      | x :: _ when x = name -> i
+      | _ :: r -> go (i + 1) r
+    in
+    go 0 stmt_names
+  in
+  let reach = Array.make_matrix n n false in
+  List.iter (fun (a, b) -> reach.(index a).(index b) <- true) edges;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if reach.(i).(k) && reach.(k).(j) then reach.(i).(j) <- true
+      done
+    done
+  done;
+  let comp = Array.make n (-1) in
+  let ncomp = ref 0 in
+  for i = 0 to n - 1 do
+    if comp.(i) = -1 then begin
+      comp.(i) <- !ncomp;
+      for j = i + 1 to n - 1 do
+        if comp.(j) = -1 && reach.(i).(j) && reach.(j).(i) then comp.(j) <- !ncomp
+      done;
+      incr ncomp
+    end
+  done;
+  (comp, !ncomp, reach)
+
+(* Topological order of the SCC DAG, ties broken by smallest original
+   statement position so the baseline preserves program order. *)
+let scc_topo_order stmt_names comp ncomp reach =
+  let n = Array.length comp in
+  let edges_between a b =
+    let found = ref false in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if comp.(i) = a && comp.(j) = b && a <> b && reach.(i).(j) then found := true
+      done
+    done;
+    !found
+  in
+  let min_pos = Array.make ncomp max_int in
+  Array.iteri (fun i c -> if i < min_pos.(c) then min_pos.(c) <- i) comp;
+  ignore stmt_names;
+  let order = Array.make ncomp (-1) in
+  let placed = Array.make ncomp false in
+  for slot = 0 to ncomp - 1 do
+    (* pick an unplaced SCC with no unplaced predecessor, smallest min_pos *)
+    let best = ref (-1) in
+    for c = 0 to ncomp - 1 do
+      if not placed.(c) then begin
+        let ready =
+          let ok = ref true in
+          for p = 0 to ncomp - 1 do
+            if (not placed.(p)) && p <> c && edges_between p c then ok := false
+          done;
+          !ok
+        in
+        if ready && (!best = -1 || min_pos.(c) < min_pos.(!best)) then best := c
+      end
+    done;
+    if !best = -1 then raise (Failure_no_schedule "cyclic SCC DAG");
+    order.(slot) <- !best;
+    placed.(!best) <- true
+  done;
+  (* rank of each SCC in the topological order *)
+  let rank = Array.make ncomp 0 in
+  Array.iteri (fun slot c -> rank.(c) <- slot) order;
+  rank
+
+let schedule ?(config = default_config) ?(influence = Influence.empty) kernel =
+  let stats =
+    { ilp_solves = 0; loop_dims = 0; scalar_dims = 0; coincidence_failures = 0;
+      band_ends = 0; sibling_moves = 0; ancestor_backtracks = 0;
+      scc_separations = 0; influence_abandoned = false }
+  in
+  let stmts = kernel.Ir.Kernel.stmts in
+  let stmt_names = List.map (fun (s : Ir.Stmt.t) -> s.Ir.Stmt.name) stmts in
+  let params = Ir.Kernel.param_names kernel in
+  let deps_all =
+    Deps.Analysis.dependences ~include_input:config.include_input_proximity kernel
+  in
+  let vdeps = Deps.Analysis.validity deps_all in
+  let ideps =
+    List.filter (fun (d : Deps.Dependence.t) -> d.kind = Deps.Dependence.Input) deps_all
+  in
+  let dstates = Array.of_list (List.map (Builders.init_dep_state kernel) vdeps) in
+  let pstates = Array.of_list (List.map (Builders.init_dep_state kernel) ideps) in
+  let dsat = Array.map (fun ds -> Polyhedron.is_empty ds.Builders.active_rel) dstates in
+  let psat = Array.map (fun ds -> Polyhedron.is_empty ds.Builders.active_rel) pstates in
+  let rows_rev = ref [] in
+  let env : (string, Q.t) Hashtbl.t = Hashtbl.create 64 in
+  let payload = ref [] in
+  let cursor =
+    ref
+      (match influence with
+       | [] -> None
+       | n :: rest -> Some { node = n; right = rest; parents = []; ordinal = 0 })
+  in
+  let snapshots : (int, snapshot) Hashtbl.t = Hashtbl.create 8 in
+
+  let loop_ordinal () = stats.loop_dims in
+
+  let snap_dep_array states sat =
+    Array.mapi
+      (fun i (ds : Builders.dep_state) ->
+        { ds_band = ds.band_rel; ds_active = ds.active_rel; ds_retired = ds.retired;
+          ds_satisfied = sat.(i) })
+      states
+  in
+  let take_snapshot () =
+    Hashtbl.replace snapshots (loop_ordinal ())
+      { s_rows = !rows_rev;
+        s_env = Hashtbl.fold (fun k v acc -> (k, v) :: acc) env [];
+        s_dep = snap_dep_array dstates dsat;
+        s_prox = snap_dep_array pstates psat;
+        s_payload = !payload
+      }
+  in
+  let restore_dep_array states sat snaps =
+    Array.iteri
+      (fun i (ds : Builders.dep_state) ->
+        ds.band_rel <- snaps.(i).ds_band;
+        ds.active_rel <- snaps.(i).ds_active;
+        ds.retired <- snaps.(i).ds_retired;
+        sat.(i) <- snaps.(i).ds_satisfied)
+      states
+  in
+  let restore ordinal =
+    let snap = Hashtbl.find snapshots ordinal in
+    rows_rev := snap.s_rows;
+    Hashtbl.reset env;
+    List.iter (fun (k, v) -> Hashtbl.replace env k v) snap.s_env;
+    restore_dep_array dstates dsat snap.s_dep;
+    restore_dep_array pstates psat snap.s_prox;
+    payload := snap.s_payload;
+    (* recompute derived counters *)
+    stats.loop_dims <- ordinal;
+    stats.scalar_dims <-
+      List.length (List.filter (fun (r : Schedule.row) -> r.kind = Schedule.Scalar) !rows_rev)
+  in
+
+  let stmt_iter_matrix (s : Ir.Stmt.t) =
+    let rows =
+      List.rev_map
+        (fun (r : Schedule.row) ->
+          let e = List.assoc s.Ir.Stmt.name r.exprs in
+          Array.of_list (List.map (fun it -> Linexpr.coef e it) s.Ir.Stmt.iters))
+        !rows_rev
+    in
+    Array.of_list rows
+  in
+  let full_rank (s : Ir.Stmt.t) =
+    Linalg.rank (stmt_iter_matrix s) = List.length s.Ir.Stmt.iters
+  in
+  let all_full_rank () = List.for_all full_rank stmts in
+
+  let unsat_states () =
+    Array.to_list
+      (Array.mapi (fun i ds -> (i, ds)) dstates)
+    |> List.filter (fun (i, (ds : Builders.dep_state)) -> (not ds.retired) && not dsat.(i))
+    |> List.map snd
+  in
+
+  (* --- constraint assembly and solving ------------------------------- *)
+
+  let merge_objectives base extras =
+    List.fold_left
+      (fun acc (p, e) ->
+        let rec ins i = function
+          | l when i <= 0 -> e :: l
+          | [] -> [ e ]
+          | x :: r -> x :: ins (i - 1) r
+        in
+        ins (min p (List.length acc)) acc)
+      base
+      (List.sort (fun (a, _) (b, _) -> compare a b) extras)
+  in
+
+  let solve ?(feautrier = false) ?(prog_negate = false) ~coincident ~with_progression
+      ~infl_cs ~infl_objs () =
+    stats.ilp_solves <- stats.ilp_solves + 1;
+    let dim = loop_ordinal () in
+    let bounds =
+      Builders.var_bounds ~dim ~stmts ~params ~coef_bound:config.coef_bound
+        ~const_bound:config.const_bound
+    in
+    (* Feautrier strategy: one 0/1 slack per unsatisfied dependence, delta
+       >= slack, maximize the number of strongly satisfied dependences. *)
+    let slack_of =
+      if not feautrier then fun _ -> None
+      else begin
+        let tbl = Hashtbl.create 8 in
+        List.iteri
+          (fun i (ds : Builders.dep_state) -> Hashtbl.replace tbl ds (Printf.sprintf "sat#%d" i))
+          (unsat_states ());
+        fun ds -> Hashtbl.find_opt tbl ds
+      end
+    in
+    let slack_vars =
+      List.filter_map slack_of (Array.to_list dstates)
+    in
+    let slack_bounds =
+      List.concat_map
+        (fun v -> [ Constr.lower_bound v 0; Constr.upper_bound v 1 ])
+        slack_vars
+    in
+    let feautrier_obj =
+      if slack_vars = [] then []
+      else
+        [ ( 0,
+            List.fold_left
+              (fun acc v -> Linexpr.add_term Q.minus_one v acc)
+              (Linexpr.const_int (List.length slack_vars))
+              slack_vars ) ]
+    in
+    let validity =
+      Array.to_list dstates
+      |> List.filter (fun (ds : Builders.dep_state) -> not ds.retired)
+      |> List.concat_map (fun ds -> Builders.validity ?slack:(slack_of ds) ~dim ds)
+    in
+    let coin =
+      if not coincident then []
+      else List.concat_map (fun ds -> Builders.coincidence ~dim ds) (unsat_states ())
+    in
+    let prox =
+      List.concat_map
+        (fun (ds : Builders.dep_state) -> Builders.proximity ~dim ~params ds)
+        (unsat_states ()
+        @ (Array.to_list pstates |> List.filteri (fun i _ -> not psat.(i))))
+    in
+    let prog =
+      if not with_progression then []
+      else
+        List.concat_map
+          (fun (s : Ir.Stmt.t) ->
+            match
+              Builders.progression ~negate:prog_negate ~dim ~stmt:s
+                ~prev_iter_rows:(stmt_iter_matrix s) ()
+            with
+            | None -> []
+            | Some cs -> cs)
+          stmts
+    in
+    let constraints = bounds @ slack_bounds @ validity @ coin @ prox @ prog @ infl_cs in
+    let objectives =
+      merge_objectives (Builders.objectives ~dim ~stmts ~params)
+        (feautrier_obj @ infl_objs)
+    in
+    let integer_vars = slack_vars @ Builders.ilp_vars ~dim ~stmts ~params in
+    let result =
+      match
+        Ilp.lexmin ~max_nodes:config.max_ilp_nodes ~constraints ~integer_vars objectives
+      with
+      | exception Ilp.Limit_reached -> None
+      | exception Ilp.Unbounded_objective -> None
+      | r -> r
+    in
+    Log.debug (fun m ->
+        m "dim %d solve: coincident=%b feautrier=%b constraints=%d -> %s" dim coincident
+          feautrier (List.length constraints)
+          (match result with Some _ -> "solution" | None -> "infeasible"));
+    result
+  in
+
+  let restrict_actives row =
+    let delta states sat =
+      Array.iteri
+        (fun i (ds : Builders.dep_state) ->
+          if (not ds.retired) && not sat.(i) then begin
+            let src_expr = List.assoc ds.dep.source row in
+            let tgt_expr = List.assoc ds.dep.target row in
+            let d = Builders.delta_concrete ds ~src_expr ~tgt_expr in
+            ds.active_rel <- Polyhedron.add_constraint ds.active_rel (Constr.eq0 d);
+            if Polyhedron.is_empty ds.active_rel then sat.(i) <- true
+          end)
+        states
+    in
+    delta dstates dsat;
+    delta pstates psat
+  in
+
+  let commit assignment ~coincident =
+    let dim = loop_ordinal () in
+    let exprs =
+      List.map
+        (fun (s : Ir.Stmt.t) ->
+          let name = s.Ir.Stmt.name in
+          let record coeff =
+            let v = Space.coef_var ~stmt:name ~dim coeff in
+            let value = assignment v in
+            Hashtbl.replace env v value;
+            value
+          in
+          let e =
+            List.fold_left
+              (fun acc it -> Linexpr.add_term (record (Space.Iter it)) it acc)
+              Linexpr.zero s.Ir.Stmt.iters
+          in
+          let e =
+            List.fold_left
+              (fun acc p -> Linexpr.add_term (record (Space.Param p)) p acc)
+              e params
+          in
+          let e = Linexpr.add e (Linexpr.const (record Space.Const)) in
+          (name, e))
+        stmts
+    in
+    rows_rev := { Schedule.kind = Schedule.Loop { coincident }; exprs } :: !rows_rev;
+    stats.loop_dims <- stats.loop_dims + 1;
+    restrict_actives exprs;
+    (* advance the influence cursor *)
+    match !cursor with
+    | None -> ()
+    | Some c ->
+      payload := c.node.Influence.payload @ !payload;
+      (match c.node.Influence.children with
+       | [] -> cursor := None (* leaf reached: influence contribution over *)
+       | child :: siblings ->
+         cursor :=
+           Some
+             { node = child;
+               right = siblings;
+               parents = (c.right, c.ordinal) :: c.parents;
+               ordinal = loop_ordinal ()
+             })
+  in
+
+  (* Band boundary: retire strongly satisfied dependences, reset band
+     relations of the others.  Returns whether any dependence was retired. *)
+  let end_band () =
+    let retired_any = ref false in
+    Array.iteri
+      (fun i (ds : Builders.dep_state) ->
+        if not ds.retired then
+          if dsat.(i) then begin
+            ds.retired <- true;
+            retired_any := true
+          end
+          else ds.band_rel <- ds.active_rel)
+      dstates;
+    if !retired_any then stats.band_ends <- stats.band_ends + 1;
+    !retired_any
+  in
+
+  (* Scalar-dimension SCC separation (the last fallback of Algorithm 1). *)
+  let scc_split () =
+    let unsat = unsat_states () in
+    let cross =
+      List.filter (fun (ds : Builders.dep_state) -> ds.dep.source <> ds.dep.target) unsat
+    in
+    if cross = [] then false
+    else begin
+      let edges = List.map (fun (ds : Builders.dep_state) -> (ds.dep.source, ds.dep.target)) unsat in
+      let comp, ncomp, reach = sccs stmt_names edges in
+      if ncomp < 2 then false
+      else begin
+        let rank = scc_topo_order stmt_names comp ncomp reach in
+        let exprs =
+          List.mapi
+            (fun i name -> (name, Linexpr.const_int rank.(comp.(i))))
+            stmt_names
+        in
+        rows_rev := { Schedule.kind = Schedule.Scalar; exprs } :: !rows_rev;
+        stats.scalar_dims <- stats.scalar_dims + 1;
+        stats.scc_separations <- stats.scc_separations + 1;
+        restrict_actives exprs;
+        ignore (end_band ());
+        true
+      end
+    end
+  in
+
+  (* Influence-node constraints at the current ordinal: substitute already
+     fixed coefficients; [None] when the node is (now) contradictory. *)
+  let prepare_influence (node : Influence.node) =
+    let dim = loop_ordinal () in
+    let subst_fixed c =
+      List.fold_left
+        (fun c v ->
+          match Hashtbl.find_opt env v with
+          | Some value -> Constr.subst v (Linexpr.const value) c
+          | None -> c)
+        c (Constr.vars c)
+    in
+    let cs = List.map subst_fixed node.Influence.constrs in
+    let contradictory = List.exists (fun c -> Constr.triviality c = Some false) cs in
+    let cs = List.filter (fun c -> Constr.triviality c = None) cs in
+    let objs =
+      List.map
+        (fun (p, e) ->
+          ( p,
+            List.fold_left
+              (fun e v ->
+                match Hashtbl.find_opt env v with
+                | Some value -> Linexpr.subst v (Linexpr.const value) e
+                | None -> e)
+              e (Linexpr.vars e) ))
+        node.Influence.objectives
+    in
+    let malformed =
+      List.exists
+        (fun c ->
+          List.exists
+            (fun v ->
+              match Space.parse_coef_var v with
+              | Some (_, d, _) -> d > dim
+              | None -> false)
+            (Constr.vars c))
+        cs
+    in
+    if malformed then
+      raise (Failure_no_schedule "influence tree constrains a deeper dimension");
+    if contradictory then None else Some (cs, objs)
+  in
+
+  (* --- the main construction loop (Algorithm 1) ----------------------- *)
+
+  let max_steps =
+    let total_dims = List.fold_left (fun acc s -> acc + Ir.Stmt.dim s) 0 stmts in
+    (total_dims + List.length stmts + 8) * (Influence.size influence + 4)
+  in
+  let steps = ref 0 in
+
+  let rec node_failure () =
+    match !cursor with
+    | None -> baseline_failure ()
+    | Some c -> (
+      match c.right with
+      | sib :: rest ->
+        stats.sibling_moves <- stats.sibling_moves + 1;
+        Log.debug (fun m -> m "influence: moving to sibling %S" sib.Influence.label);
+        cursor := Some { c with node = sib; right = rest };
+        step ()
+      | [] ->
+        if end_band () then step ()
+        else begin
+          (* closest ancestor with a remaining sibling *)
+          let rec unwind = function
+            | [] ->
+              stats.influence_abandoned <- true;
+              Log.info (fun m ->
+                  m "influence: no feasible scenario for %s, running uninfluenced"
+                    kernel.Ir.Kernel.name);
+              restore 0;
+              cursor := None;
+              step ()
+            | ([], _) :: up -> unwind up
+            | (sib :: rest, ordinal) :: up ->
+              stats.ancestor_backtracks <- stats.ancestor_backtracks + 1;
+              Log.debug (fun m ->
+                  m "influence: backtracking to ordinal %d, sibling %S" ordinal
+                    sib.Influence.label);
+              restore ordinal;
+              cursor := Some { node = sib; right = rest; parents = up; ordinal };
+              step ()
+          in
+          unwind c.parents
+        end)
+
+  and baseline_failure () =
+    if end_band () then step ()
+    else if scc_split () then step ()
+    else (
+      (* Last resort: equation 4 keeps only one cone of the orthogonal
+         subspace; the valid completion row may live in the other one. *)
+      match
+        solve ~prog_negate:true ~coincident:false ~with_progression:true ~infl_cs:[]
+          ~infl_objs:[] ()
+      with
+      | Some a ->
+        commit a ~coincident:false;
+        step ()
+      | None -> raise (Failure_no_schedule "no progress possible"))
+
+  and step () =
+    incr steps;
+    if !steps > max_steps then
+      raise (Failure_no_schedule "construction did not converge");
+    let unsat = unsat_states () in
+    let full = all_full_rank () in
+    match (unsat, full, !cursor) with
+    | [], true, None -> () (* done *)
+    | _ :: _, true, _ ->
+      (* no more useful loop dimensions: retire / separate *)
+      if end_band () then step ()
+      else if scc_split () then step ()
+      else if !cursor <> None then node_failure ()
+      else raise (Failure_no_schedule "unsatisfied dependences with full-rank schedules")
+    | _, _, _ -> begin
+      take_snapshot ();
+      let node = Option.map (fun c -> c.node) !cursor in
+      let infl_cs = Option.map prepare_influence node in
+      match infl_cs with
+      | Some None -> node_failure () (* node contradicts fixed dimensions *)
+      | infl ->
+        let infl_cs, infl_objs =
+          match infl with Some (Some (cs, objs)) -> (cs, objs) | _ -> ([], [])
+        in
+        let with_progression = not (unsat = [] && full) in
+        (match solve ~coincident:true ~with_progression ~infl_cs ~infl_objs () with
+         | Some a ->
+           commit a ~coincident:true;
+           step ()
+         | None -> (
+           stats.coincidence_failures <- stats.coincidence_failures + 1;
+           match node with
+           | Some n ->
+             if n.Influence.require_parallel then node_failure ()
+             else (
+               match solve ~coincident:false ~with_progression ~infl_cs ~infl_objs () with
+               | Some a ->
+                 commit a ~coincident:false;
+                 step ()
+               | None -> node_failure ())
+           | None ->
+             if scc_split () then step ()
+             else (
+               match
+                 solve ~feautrier:config.feautrier_fallback ~coincident:false
+                   ~with_progression ~infl_cs:[] ~infl_objs:[] ()
+               with
+               | Some a ->
+                 commit a ~coincident:false;
+                 step ()
+               | None -> baseline_failure ())))
+    end
+  in
+  step ();
+  let sched =
+    { Schedule.kernel_name = kernel.Ir.Kernel.name;
+      stmt_names;
+      rows = List.rev !rows_rev;
+      annotations = !payload
+    }
+  in
+  (sched, stats)

@@ -1,0 +1,35 @@
+type coeff =
+  | Iter of string
+  | Param of string
+  | Const
+
+(* '#' cannot occur in statement/iterator identifiers, which keeps the
+   encoding unambiguous. *)
+let coef_var ~stmt ~dim coeff =
+  let what =
+    match coeff with
+    | Iter x -> "it:" ^ x
+    | Param p -> "par:" ^ p
+    | Const -> "cst"
+  in
+  Printf.sprintf "c#%s#%d#%s" stmt dim what
+
+let bound_w = "w#"
+let bound_u p = "u#" ^ p
+
+let parse_coef_var v =
+  match String.split_on_char '#' v with
+  | [ "c"; stmt; dim; what ] -> (
+    match int_of_string_opt dim with
+    | None -> None
+    | Some d -> (
+      match String.index_opt what ':' with
+      | None -> if what = "cst" then Some (stmt, d, Const) else None
+      | Some i ->
+        let kind = String.sub what 0 i in
+        let name = String.sub what (i + 1) (String.length what - i - 1) in
+        (match kind with
+         | "it" -> Some (stmt, d, Iter name)
+         | "par" -> Some (stmt, d, Param name)
+         | _ -> None)))
+  | _ -> None

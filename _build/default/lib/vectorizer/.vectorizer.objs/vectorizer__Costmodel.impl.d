@@ -1,0 +1,1 @@
+lib/vectorizer/costmodel.ml: Access Array Ir Kernel Linexpr List Polybase Polyhedra Q Stmt Tensor

@@ -1,0 +1,1 @@
+lib/vectorizer/costmodel.mli: Ir

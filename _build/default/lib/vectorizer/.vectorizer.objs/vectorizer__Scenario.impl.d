@@ -1,0 +1,1 @@
+lib/vectorizer/scenario.ml: Costmodel Format Ir Kernel List Option Printf Stmt String

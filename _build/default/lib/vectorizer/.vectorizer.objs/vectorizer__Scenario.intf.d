@@ -1,0 +1,1 @@
+lib/vectorizer/scenario.mli: Costmodel Format Ir

@@ -1,0 +1,1 @@
+lib/vectorizer/treegen.ml: Constr Influence Ir Kernel Linexpr List Option Polyhedra Printf Scenario Scheduling Space Stmt String

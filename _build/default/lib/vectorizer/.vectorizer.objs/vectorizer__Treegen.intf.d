@@ -1,0 +1,1 @@
+lib/vectorizer/treegen.mli: Costmodel Ir Scenario Scheduling

@@ -1,0 +1,88 @@
+open Ir
+
+type t = {
+  stmt : string;
+  dims : string list;
+  vector_iter : string option;
+  vector_width : int;
+  score : float;
+}
+
+(* Candidates for one position, best first.  [innermost] switches the
+   vectorization terms of the cost on. *)
+let ranked_candidates ?weights kernel stmt ~taken ~innermost ~thread_budget =
+  let free = List.filter (fun it -> not (List.mem it taken)) stmt.Stmt.iters in
+  let scored =
+    List.map
+      (fun it ->
+        (it, Costmodel.cost ?weights kernel stmt ~iter:it ~innermost ~thread_budget))
+      free
+  in
+  (* stable sort: ties keep original (outer-to-inner) iterator order, and we
+     prefer the LATER original iterator on ties for the innermost slot so a
+     tie between the natural innermost and an outer dim keeps the loop
+     structure intact *)
+  List.stable_sort (fun (_, a) (_, b) -> compare b a) scored
+
+let build ?weights ?(thread_limit = 1024) ?(max_depth = 3) kernel stmt ~alternative =
+  let innermost_ranked =
+    ranked_candidates ?weights kernel stmt ~taken:[] ~innermost:true
+      ~thread_budget:thread_limit
+  in
+  match List.nth_opt innermost_ranked alternative with
+  | None -> None
+  | Some (inner, inner_score) ->
+    let budget = ref (max 1 (thread_limit / Stmt.extent stmt inner)) in
+    let rec grow acc score =
+      if List.length acc >= max_depth || List.length acc >= Stmt.dim stmt then
+        (acc, score)
+      else begin
+        match
+          ranked_candidates ?weights kernel stmt ~taken:acc ~innermost:false
+            ~thread_budget:!budget
+        with
+        | [] -> (acc, score)
+        | (best, s) :: _ ->
+          budget := max 1 (!budget / Stmt.extent stmt best);
+          grow (best :: acc) (score +. s)
+      end
+    in
+    let dims, score = grow [ inner ] inner_score in
+    let width = Costmodel.stmt_vector_width kernel stmt ~iter:inner in
+    Some
+      { stmt = stmt.Stmt.name;
+        dims;
+        vector_iter = (if width > 1 then Some inner else None);
+        vector_width = width;
+        score
+      }
+
+let build_all ?weights ?(thread_limit = 1024) ?(max_alternatives = 4) kernel =
+  let stmts = kernel.Kernel.stmts in
+  let set r =
+    List.map
+      (fun s ->
+        match build ?weights ~thread_limit kernel s ~alternative:r with
+        | Some sc -> sc
+        | None -> Option.get (build ?weights ~thread_limit kernel s ~alternative:0))
+      stmts
+  in
+  let sets = List.init max_alternatives set in
+  (* deduplicate consecutive identical sets (statements with few dims) *)
+  let key set = String.concat "|" (List.map (fun s -> String.concat "," s.dims) set) in
+  let _, uniq =
+    List.fold_left
+      (fun (seen, acc) s ->
+        let k = key s in
+        if List.mem k seen then (seen, acc) else (k :: seen, s :: acc))
+      ([], []) sets
+  in
+  List.rev uniq
+
+let pp fmt s =
+  Format.fprintf fmt "%s: [%s]%s score=%.2f" s.stmt
+    (String.concat ", " s.dims)
+    (match s.vector_iter with
+     | Some it -> Printf.sprintf " vec(%s x%d)" it s.vector_width
+     | None -> "")
+    s.score

@@ -1,0 +1,34 @@
+(** Scenario-set to influence-constraint-tree translation (Section V).
+
+    Each scenario pins the last scheduling dimensions of a statement to
+    specific iterators (innermost first prepared for explicit vector types);
+    the translation is the paper's: innermost coefficients equal to the
+    access-function coefficients (unit pins in this IR), following
+    dimensions keep previously-fixed iterators at zero, everything else
+    free.  Higher-priority variants influence fusion (the joint pins align
+    statements positionally); lower-priority variants keep only the
+    vectorization constraints. *)
+
+val influence_for :
+  ?weights:Costmodel.weights ->
+  ?thread_limit:int ->
+  ?max_branches:int ->
+  Ir.Kernel.t ->
+  Scheduling.Influence.t
+(** The constraint tree injected for the {b infl} and {b novec} compiler
+    versions.  [max_branches] caps the number of root alternatives
+    (default 8, the paper's setting). *)
+
+val vector_annotation_key : string -> string
+(** Annotation key under which the schedule carries the vectorization
+    preparation of a statement. *)
+
+val parse_vector_annotation : string -> (string * int) option
+(** [(iterator, width)] from an annotation value. *)
+
+val scenario_sets :
+  ?weights:Costmodel.weights ->
+  ?thread_limit:int ->
+  Ir.Kernel.t ->
+  Scenario.t list list
+(** The underlying scenario sets (exposed for ablation benchmarks). *)

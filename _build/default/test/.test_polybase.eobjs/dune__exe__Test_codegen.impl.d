@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Ast Build Codegen Compile Cuda Expr Gen Interp Ir Kernel List Mapping Marks Ops Polyhedra Printf QCheck2 QCheck_alcotest Scheduling Str Vectorizer

@@ -1,0 +1,1 @@
+test/test_gpusim.ml: Alcotest Codegen Compile Float Gpusim Ops Scheduling Vectorizer

@@ -1,0 +1,1 @@
+test/test_ir_deps.ml: Access Alcotest Build Deps Expr Ir Kernel List Ops Polybase Polyhedra Stmt Tensor

@@ -1,0 +1,1 @@
+test/test_polybase.ml: Alcotest Array Bigint Linalg List Polybase Printf Q QCheck2 QCheck_alcotest String

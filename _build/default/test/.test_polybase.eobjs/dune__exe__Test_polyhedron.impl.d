@@ -1,0 +1,1 @@
+test/test_polyhedron.ml: Alcotest Constr Fun Ilp Linexpr List Polybase Polyhedra Polyhedron Q QCheck2 QCheck_alcotest Simplex

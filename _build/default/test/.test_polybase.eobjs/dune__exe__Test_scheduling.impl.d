@@ -1,0 +1,1 @@
+test/test_scheduling.ml: Alcotest Constr Deps Farkas Influence Legality Linexpr List Ops Polybase Polyhedra Polyhedron Printf Q QCheck2 QCheck_alcotest Schedule Scheduler Scheduling Space String

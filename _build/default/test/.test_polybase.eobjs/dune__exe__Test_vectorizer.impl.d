@@ -1,0 +1,1 @@
+test/test_vectorizer.ml: Access Alcotest Costmodel Deps Ir Kernel List Ops Option Polyhedra Scenario Scheduling Stmt Treegen Vectorizer

@@ -1,0 +1,119 @@
+(* Tests for the GPU performance model: coalescing detection, vector
+   request counting, traffic accounting and time-model orderings. *)
+
+open Codegen
+
+let compile ?(vectorize = false) ?influence k =
+  let sched, _ = Scheduling.Scheduler.schedule ?influence k in
+  Compile.lower ~vectorize sched k
+
+let compile_infl ?(vectorize = true) k =
+  let infl = Vectorizer.Treegen.influence_for k in
+  let sched, _ = Scheduling.Scheduler.schedule ~influence:infl k in
+  Compile.lower ~vectorize sched k
+
+let collect c = Gpusim.Memsim.collect Gpusim.Machine.v100 c
+
+let test_coalesced_elementwise () =
+  (* 256x512 identity elementwise: every warp touches contiguous 128B. *)
+  let k = Ops.Classics.broadcast_bias_relu ~n:256 ~c:512 () in
+  let r = collect (compile k) in
+  (* transferred bytes should be close to useful bytes (bias is broadcast,
+     so efficiency can even exceed 1 on that access) *)
+  Alcotest.(check bool) "high efficiency" true (r.Gpusim.Memsim.useful_bytes /. r.Gpusim.Memsim.bytes > 0.9);
+  (* the model has no cache: x and out stream once, the bias broadcast is
+     re-read per row, so traffic is between 2 and 3 tensors' worth *)
+  let per_tensor = float_of_int (256 * 512 * 4) in
+  Alcotest.(check bool) "traffic in range" true
+    (r.Gpusim.Memsim.bytes > 1.6 *. per_tensor && r.Gpusim.Memsim.bytes < 3.6 *. per_tensor)
+
+let test_uncoalesced_permute () =
+  let k = Ops.Classics.permute_outer_bad ~a:32 ~b:32 ~c:64 () in
+  let risl = collect (compile k) in
+  let rinfl = collect (compile_infl k) in
+  let eff r = r.Gpusim.Memsim.useful_bytes /. r.Gpusim.Memsim.bytes in
+  Alcotest.(check bool) "isl badly coalesced" true (eff risl < 0.3);
+  Alcotest.(check bool) "influence coalesces" true (eff rinfl > 0.9);
+  Alcotest.(check bool) "traffic reduced" true
+    (rinfl.Gpusim.Memsim.bytes < 0.5 *. risl.Gpusim.Memsim.bytes)
+
+let test_vector_requests () =
+  let k = Ops.Classics.fused_mul_sub_mul_tensoradd ~n:64 ~m:256 () in
+  let scalar = collect (compile_infl ~vectorize:false k) in
+  let vector = collect (compile_infl ~vectorize:true k) in
+  let ratio = scalar.Gpusim.Memsim.requests /. vector.Gpusim.Memsim.requests in
+  Alcotest.(check bool) "about 4x fewer requests" true (ratio > 3.0 && ratio < 5.0);
+  (* same data moved *)
+  Alcotest.(check bool) "same traffic" true
+    (Float.abs (scalar.Gpusim.Memsim.useful_bytes -. vector.Gpusim.Memsim.useful_bytes)
+     /. scalar.Gpusim.Memsim.useful_bytes < 0.15)
+
+let test_flops_counted () =
+  (* 64x64 relu(a)+b: 2 flops per point (unop in X... here 2 ops) *)
+  let k = Ops.Classics.transpose_add ~n:64 ~m:64 () in
+  let r = collect (compile k) in
+  Alcotest.(check bool) "flops ~ n*m" true
+    (r.Gpusim.Memsim.flops > 0.9 *. float_of_int (64 * 64)
+     && r.Gpusim.Memsim.flops < 1.5 *. float_of_int (64 * 64))
+
+let test_warp_accounting () =
+  let k = Ops.Classics.broadcast_bias_relu ~n:128 ~c:256 () in
+  let c = compile k in
+  let r = collect c in
+  let total_threads = r.Gpusim.Memsim.blocks * r.Gpusim.Memsim.threads_per_block in
+  (* grid must cover all 128*256 points (possibly with masking slack) *)
+  Alcotest.(check bool) "grid covers domain" true (total_threads >= 128 * 256);
+  Alcotest.(check bool) "warps consistent" true
+    (r.Gpusim.Memsim.warps >= float_of_int total_threads /. 32.0)
+
+let test_time_orderings () =
+  (* The three versions must be ordered: infl <= novec <= isl on the
+     layout-hostile permute; all equal-ish on a clean elementwise op. *)
+  let p = Ops.Classics.permute_outer_bad ~a:64 ~b:32 ~c:128 () in
+  let t_isl = Gpusim.Sim.run (compile p) in
+  let t_novec = Gpusim.Sim.run (compile_infl ~vectorize:false p) in
+  let t_infl = Gpusim.Sim.run (compile_infl ~vectorize:true p) in
+  Alcotest.(check bool) "novec beats isl" true
+    (t_novec.Gpusim.Sim.time_s < t_isl.Gpusim.Sim.time_s);
+  Alcotest.(check bool) "infl at least as good as novec" true
+    (t_infl.Gpusim.Sim.time_s <= t_novec.Gpusim.Sim.time_s *. 1.02);
+  let e = Ops.Classics.fused_mul_sub_mul_tensoradd ~n:128 ~m:768 () in
+  let e_isl = Gpusim.Sim.run (compile e) in
+  let e_infl = Gpusim.Sim.run (compile_infl e) in
+  let ratio = e_isl.Gpusim.Sim.time_s /. e_infl.Gpusim.Sim.time_s in
+  Alcotest.(check bool) "elementwise ratio near 1" true (ratio > 0.9 && ratio < 1.4)
+
+let test_sampling_consistency () =
+  (* Sampling more blocks/warps should not change totals much on a uniform
+     kernel. *)
+  let k = Ops.Classics.fused_mul_sub_mul_tensoradd ~n:64 ~m:256 () in
+  let c = compile k in
+  let coarse = Gpusim.Memsim.collect ~block_samples:2 ~warp_samples:2 Gpusim.Machine.v100 c in
+  let fine = Gpusim.Memsim.collect ~block_samples:32 ~warp_samples:16 Gpusim.Machine.v100 c in
+  let close a b = Float.abs (a -. b) /. Float.max a 1.0 < 0.1 in
+  Alcotest.(check bool) "requests stable" true
+    (close coarse.Gpusim.Memsim.requests fine.Gpusim.Memsim.requests);
+  Alcotest.(check bool) "sectors stable" true
+    (close coarse.Gpusim.Memsim.sectors fine.Gpusim.Memsim.sectors)
+
+let test_machine_defaults () =
+  let m = Gpusim.Machine.v100 in
+  Alcotest.(check int) "warp size" 32 m.Gpusim.Machine.warp_size;
+  Alcotest.(check int) "sector" 32 m.Gpusim.Machine.sector_bytes;
+  Alcotest.(check bool) "bandwidth plausible" true (m.Gpusim.Machine.dram_bandwidth > 1e11)
+
+let () =
+  Alcotest.run "gpusim"
+    [ ( "memsim",
+        [ Alcotest.test_case "coalesced elementwise" `Quick test_coalesced_elementwise;
+          Alcotest.test_case "uncoalesced permute" `Quick test_uncoalesced_permute;
+          Alcotest.test_case "vector requests" `Quick test_vector_requests;
+          Alcotest.test_case "flops" `Quick test_flops_counted;
+          Alcotest.test_case "warp accounting" `Quick test_warp_accounting;
+          Alcotest.test_case "sampling consistency" `Quick test_sampling_consistency
+        ] );
+      ( "sim",
+        [ Alcotest.test_case "time orderings" `Quick test_time_orderings;
+          Alcotest.test_case "machine defaults" `Quick test_machine_defaults
+        ] )
+    ]

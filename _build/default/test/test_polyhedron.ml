@@ -1,0 +1,379 @@
+(* Tests for the polyhedral substrate: Linexpr, Constr, Simplex,
+   Fourier-Motzkin, Polyhedron, Ilp. *)
+
+open Polybase
+open Polyhedra
+
+let le = Linexpr.of_int_terms
+let q = Q.of_int
+
+let check_q msg expected actual =
+  Alcotest.(check string) msg (Q.to_string expected) (Q.to_string actual)
+
+(* ------------------------------------------------------------------ *)
+(* Linexpr                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_linexpr_algebra () =
+  let e = le [ (2, "x"); (3, "y") ] 1 in
+  check_q "coef x" (q 2) (Linexpr.coef e "x");
+  check_q "coef z" Q.zero (Linexpr.coef e "z");
+  check_q "constant" (q 1) (Linexpr.constant e);
+  Alcotest.(check (list string)) "vars" [ "x"; "y" ] (Linexpr.vars e);
+  let f = Linexpr.add e (le [ (-2, "x"); (1, "z") ] 4) in
+  Alcotest.(check (list string)) "vars after cancel" [ "y"; "z" ] (Linexpr.vars f);
+  check_q "const after add" (q 5) (Linexpr.constant f);
+  let g = Linexpr.sub e e in
+  Alcotest.(check bool) "e - e = 0" true (Linexpr.equal g Linexpr.zero)
+
+let test_linexpr_subst_eval () =
+  let e = le [ (2, "x"); (3, "y") ] 1 in
+  (* x := y + 5  =>  2y + 10 + 3y + 1 = 5y + 11 *)
+  let e' = Linexpr.subst "x" (le [ (1, "y") ] 5) e in
+  Alcotest.(check bool) "subst" true (Linexpr.equal e' (le [ (5, "y") ] 11));
+  let env = function "x" -> q 10 | "y" -> q (-1) | _ -> Q.zero in
+  check_q "eval" (q 18) (Linexpr.eval env e)
+
+let test_linexpr_rename () =
+  let e = le [ (1, "x"); (2, "y") ] 0 in
+  let e' = Linexpr.rename (fun v -> v ^ "'") e in
+  Alcotest.(check (list string)) "renamed" [ "x'"; "y'" ] (Linexpr.vars e');
+  Alcotest.(check_raises) "non-injective rejected" (Invalid_argument "Linexpr.rename: not injective")
+    (fun () -> ignore (Linexpr.rename (fun _ -> "same") e))
+
+(* ------------------------------------------------------------------ *)
+(* Simplex                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_simplex_basic_min () =
+  (* min x + y  s.t. x >= 1, y >= 2  => 3 at (1,2) *)
+  let cs = [ Constr.lower_bound "x" 1; Constr.lower_bound "y" 2 ] in
+  (match Simplex.minimize cs (le [ (1, "x"); (1, "y") ] 0) with
+   | Simplex.Optimal (v, a) ->
+     check_q "value" (q 3) v;
+     check_q "x" (q 1) (a "x");
+     check_q "y" (q 2) (a "y")
+   | _ -> Alcotest.fail "expected optimal")
+
+let test_simplex_max_over_polytope () =
+  (* max 3x + 2y over x,y >= 0, x + y <= 4, x <= 3 => 11 at (3,1) *)
+  let cs =
+    [ Constr.lower_bound "x" 0;
+      Constr.lower_bound "y" 0;
+      Constr.leq (le [ (1, "x"); (1, "y") ] 0) (Linexpr.const_int 4);
+      Constr.upper_bound "x" 3
+    ]
+  in
+  (match Simplex.maximize cs (le [ (3, "x"); (2, "y") ] 0) with
+   | Simplex.Optimal (v, a) ->
+     check_q "value" (q 11) v;
+     check_q "x" (q 3) (a "x");
+     check_q "y" (q 1) (a "y")
+   | _ -> Alcotest.fail "expected optimal")
+
+let test_simplex_infeasible () =
+  let cs = [ Constr.lower_bound "x" 2; Constr.upper_bound "x" 1 ] in
+  (match Simplex.minimize cs (Linexpr.var "x") with
+   | Simplex.Infeasible -> ()
+   | _ -> Alcotest.fail "expected infeasible")
+
+let test_simplex_unbounded () =
+  let cs = [ Constr.upper_bound "x" 5 ] in
+  (match Simplex.minimize cs (Linexpr.var "x") with
+   | Simplex.Unbounded -> ()
+   | _ -> Alcotest.fail "expected unbounded")
+
+let test_simplex_equalities () =
+  (* min y s.t. x + y = 10, x - y = 4  => unique point (7,3) *)
+  let cs =
+    [ Constr.eq (le [ (1, "x"); (1, "y") ] 0) (Linexpr.const_int 10);
+      Constr.eq (le [ (1, "x"); (-1, "y") ] 0) (Linexpr.const_int 4)
+    ]
+  in
+  (match Simplex.minimize cs (Linexpr.var "y") with
+   | Simplex.Optimal (v, a) ->
+     check_q "y" (q 3) v;
+     check_q "x" (q 7) (a "x")
+   | _ -> Alcotest.fail "expected optimal")
+
+let test_simplex_negative_solution () =
+  (* Free variables can go negative: min x s.t. x >= -5. *)
+  let cs = [ Constr.lower_bound "x" (-5) ] in
+  (match Simplex.minimize cs (Linexpr.var "x") with
+   | Simplex.Optimal (v, _) -> check_q "value" (q (-5)) v
+   | _ -> Alcotest.fail "expected optimal")
+
+let test_simplex_fractional_vertex () =
+  (* min x s.t. 2x >= 1 has rational optimum 1/2. *)
+  let cs = [ Constr.ge0 (le [ (2, "x") ] (-1)) ] in
+  (match Simplex.minimize cs (Linexpr.var "x") with
+   | Simplex.Optimal (v, _) -> check_q "value" (Q.of_ints 1 2) v
+   | _ -> Alcotest.fail "expected optimal")
+
+let test_simplex_redundant_rows () =
+  (* Duplicate equalities must not confuse phase 1's redundant-row cleanup. *)
+  let eq = Constr.eq (le [ (1, "x"); (1, "y") ] 0) (Linexpr.const_int 2) in
+  let cs = [ eq; eq; Constr.lower_bound "x" 0; Constr.lower_bound "y" 0 ] in
+  (match Simplex.minimize cs (Linexpr.var "x") with
+   | Simplex.Optimal (v, _) -> check_q "value" Q.zero v
+   | _ -> Alcotest.fail "expected optimal")
+
+(* Random LP property: the optimum the simplex reports is feasible, attains
+   the reported value, and is no worse than a brute-forced grid of feasible
+   points. *)
+let random_box_lp_gen =
+  QCheck2.Gen.(
+    let coef = int_range (-4) 4 in
+    let bound = int_range 0 6 in
+    triple
+      (list_size (int_range 1 4) (triple coef coef (int_range (-3) 6)))
+      (pair coef coef)
+      bound)
+
+let prop_simplex_sound =
+  QCheck2.Test.make ~name:"simplex optimum is feasible and dominates grid" ~count:200
+    random_box_lp_gen
+    (fun (ineqs, (cx, cy), ub) ->
+      let box =
+        [ Constr.lower_bound "x" 0; Constr.upper_bound "x" ub;
+          Constr.lower_bound "y" 0; Constr.upper_bound "y" ub ]
+      in
+      let cs =
+        box
+        @ List.map (fun (a, b, c) -> Constr.ge0 (le [ (a, "x"); (b, "y") ] c)) ineqs
+      in
+      let obj = le [ (cx, "x"); (cy, "y") ] 0 in
+      let feasible_grid =
+        List.concat_map
+          (fun x ->
+            List.filter_map
+              (fun y ->
+                let env = function "x" -> q x | "y" -> q y | _ -> Q.zero in
+                if List.for_all (Constr.holds env) cs then Some (cx * x + (cy * y))
+                else None)
+              (List.init (ub + 1) Fun.id))
+          (List.init (ub + 1) Fun.id)
+      in
+      match Simplex.minimize cs obj with
+      | Simplex.Unbounded -> false (* impossible: box-bounded *)
+      | Simplex.Infeasible -> feasible_grid = []
+      | Simplex.Optimal (v, a) ->
+        let env x = a x in
+        List.for_all (Constr.holds env) cs
+        && Q.equal v (Linexpr.eval env obj)
+        && List.for_all (fun g -> Q.compare v (q g) <= 0) feasible_grid)
+
+(* ------------------------------------------------------------------ *)
+(* Fourier-Motzkin / Polyhedron                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_fm_projection_interval () =
+  (* { (x,y) | 0 <= y <= 3, x = 2y }: projecting out y gives 0 <= x <= 6. *)
+  let p =
+    Polyhedron.of_constraints
+      [ Constr.lower_bound "y" 0;
+        Constr.upper_bound "y" 3;
+        Constr.eq (Linexpr.var "x") (le [ (2, "y") ] 0)
+      ]
+  in
+  let px = Polyhedron.project_out [ "y" ] p in
+  (match Polyhedron.minimum px (Linexpr.var "x") with
+   | `Value v -> check_q "min x" Q.zero v
+   | _ -> Alcotest.fail "expected min");
+  (match Polyhedron.maximum px (Linexpr.var "x") with
+   | `Value v -> check_q "max x" (q 6) v
+   | _ -> Alcotest.fail "expected max")
+
+let test_fm_empty_detection () =
+  let p =
+    Polyhedron.of_constraints
+      [ Constr.lower_bound "x" 0;
+        Constr.upper_bound "x" 10;
+        Constr.geq (Linexpr.var "y") (le [ (1, "x") ] 1);
+        Constr.leq (Linexpr.var "y") (le [ (1, "x") ] (-1))
+      ]
+  in
+  Alcotest.(check bool) "empty" true (Polyhedron.is_empty (Polyhedron.project_out [ "y" ] p));
+  Alcotest.(check bool) "empty before projection" true (Polyhedron.is_empty p)
+
+let test_polyhedron_membership () =
+  let p = Polyhedron.of_constraints [ Constr.lower_bound "x" 0; Constr.upper_bound "x" 5 ] in
+  let at v = fun _ -> q v in
+  Alcotest.(check bool) "3 in" true (Polyhedron.mem (at 3) p);
+  Alcotest.(check bool) "7 out" false (Polyhedron.mem (at 7) p);
+  Alcotest.(check bool) "Polyhedron.sample in" true
+    (match Polyhedron.sample p with Some a -> Polyhedron.mem a p | None -> false)
+
+let prop_fm_projection_sound =
+  (* Any Polyhedron.sample of P projects into Polyhedron.project_out(P). *)
+  QCheck2.Test.make ~name:"FM projection contains projected samples" ~count:200
+    random_box_lp_gen
+    (fun (ineqs, _, ub) ->
+      let cs =
+        [ Constr.lower_bound "x" 0; Constr.upper_bound "x" ub;
+          Constr.lower_bound "y" 0; Constr.upper_bound "y" ub ]
+        @ List.map (fun (a, b, c) -> Constr.ge0 (le [ (a, "x"); (b, "y") ] c)) ineqs
+      in
+      let p = Polyhedron.of_constraints cs in
+      let proj = Polyhedron.project_out [ "y" ] p in
+      match Polyhedron.sample p with
+      | None -> Polyhedron.is_empty proj
+      | Some a -> Polyhedron.mem a proj)
+
+let prop_fm_projection_tight =
+  (* Any rational Polyhedron.sample of the projection extends to a point of P: check by
+     substituting the sampled x and testing feasibility over y. *)
+  QCheck2.Test.make ~name:"FM projection points extend" ~count:200
+    random_box_lp_gen
+    (fun (ineqs, _, ub) ->
+      let cs =
+        [ Constr.lower_bound "x" 0; Constr.upper_bound "x" ub;
+          Constr.lower_bound "y" 0; Constr.upper_bound "y" ub ]
+        @ List.map (fun (a, b, c) -> Constr.ge0 (le [ (a, "x"); (b, "y") ] c)) ineqs
+      in
+      let p = Polyhedron.of_constraints cs in
+      let proj = Polyhedron.project_out [ "y" ] p in
+      match Polyhedron.sample proj with
+      | None -> true
+      | Some a ->
+        let fixed =
+          List.map (Constr.subst "x" (Linexpr.const (a "x"))) (Polyhedron.constraints p)
+        in
+        Simplex.is_feasible fixed)
+
+(* ------------------------------------------------------------------ *)
+(* ILP                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_ilp_rounds_up () =
+  (* min x s.t. 2x >= 1, x integer => 1 (LP relaxation: 1/2). *)
+  match
+    Ilp.minimize
+      ~constraints:[ Constr.ge0 (le [ (2, "x") ] (-1)) ]
+      ~integer_vars:[ "x" ] (Linexpr.var "x")
+  with
+  | Some (v, a) ->
+    check_q "value" (q 1) v;
+    check_q "x" (q 1) (a "x")
+  | None -> Alcotest.fail "expected solution"
+
+let test_ilp_knapsackish () =
+  (* min 3x + 4y s.t. 2x + 3y >= 7, x,y >= 0 integer.
+     LP gives y = 7/3; integer optimum is x=2,y=1 (cost 10). *)
+  match
+    Ilp.minimize
+      ~constraints:
+        [ Constr.ge0 (le [ (2, "x"); (3, "y") ] (-7));
+          Constr.lower_bound "x" 0; Constr.lower_bound "y" 0 ]
+      ~integer_vars:[ "x"; "y" ]
+      (le [ (3, "x"); (4, "y") ] 0)
+  with
+  | Some (v, _) -> check_q "value" (q 10) v
+  | None -> Alcotest.fail "expected solution"
+
+let test_ilp_infeasible () =
+  (* 0 < 2x < 2 has no integer solution. *)
+  let r =
+    Ilp.minimize
+      ~constraints:
+        [ Constr.ge0 (le [ (2, "x") ] (-1)); Constr.ge0 (le [ (-2, "x") ] 1) ]
+      ~integer_vars:[ "x" ] (Linexpr.var "x")
+  in
+  Alcotest.(check bool) "integer infeasible" true (r = None)
+
+let test_ilp_lexmin () =
+  (* Lexicographically minimize (x, y) over x + y >= 3, 0 <= x,y <= 5:
+     first x -> 0, then y -> 3. *)
+  match
+    Ilp.lexmin
+      ~constraints:
+        [ Constr.ge0 (le [ (1, "x"); (1, "y") ] (-3));
+          Constr.lower_bound "x" 0; Constr.upper_bound "x" 5;
+          Constr.lower_bound "y" 0; Constr.upper_bound "y" 5 ]
+      ~integer_vars:[ "x"; "y" ]
+      [ Linexpr.var "x"; Linexpr.var "y" ]
+  with
+  | Some a ->
+    check_q "x" Q.zero (a "x");
+    check_q "y" (q 3) (a "y")
+  | None -> Alcotest.fail "expected solution"
+
+let test_ilp_lexmin_order_matters () =
+  match
+    Ilp.lexmin
+      ~constraints:
+        [ Constr.ge0 (le [ (1, "x"); (1, "y") ] (-3));
+          Constr.lower_bound "x" 0; Constr.upper_bound "x" 5;
+          Constr.lower_bound "y" 0; Constr.upper_bound "y" 5 ]
+      ~integer_vars:[ "x"; "y" ]
+      [ Linexpr.var "y"; Linexpr.var "x" ]
+  with
+  | Some a ->
+    check_q "y first" Q.zero (a "y");
+    check_q "then x" (q 3) (a "x")
+  | None -> Alcotest.fail "expected solution"
+
+let prop_ilp_dominates_grid =
+  QCheck2.Test.make ~name:"ILP optimum matches integer grid brute force" ~count:150
+    random_box_lp_gen
+    (fun (ineqs, (cx, cy), ub) ->
+      let cs =
+        [ Constr.lower_bound "x" 0; Constr.upper_bound "x" ub;
+          Constr.lower_bound "y" 0; Constr.upper_bound "y" ub ]
+        @ List.map (fun (a, b, c) -> Constr.ge0 (le [ (a, "x"); (b, "y") ] c)) ineqs
+      in
+      let obj = le [ (cx, "x"); (cy, "y") ] 0 in
+      let grid_values =
+        List.concat_map
+          (fun x ->
+            List.filter_map
+              (fun y ->
+                let env = function "x" -> q x | "y" -> q y | _ -> Q.zero in
+                if List.for_all (Constr.holds env) cs then Some (cx * x + (cy * y))
+                else None)
+              (List.init (ub + 1) Fun.id))
+          (List.init (ub + 1) Fun.id)
+      in
+      match Ilp.minimize ~constraints:cs ~integer_vars:[ "x"; "y" ] obj with
+      | None -> grid_values = []
+      | Some (v, a) ->
+        grid_values <> []
+        && Q.equal v (q (List.fold_left min max_int grid_values))
+        && Q.is_integer (a "x")
+        && Q.is_integer (a "y"))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "polyhedron"
+    [ ( "linexpr",
+        [ Alcotest.test_case "algebra" `Quick test_linexpr_algebra;
+          Alcotest.test_case "subst/eval" `Quick test_linexpr_subst_eval;
+          Alcotest.test_case "rename" `Quick test_linexpr_rename
+        ] );
+      ( "simplex",
+        [ Alcotest.test_case "basic min" `Quick test_simplex_basic_min;
+          Alcotest.test_case "max over polytope" `Quick test_simplex_max_over_polytope;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "equalities" `Quick test_simplex_equalities;
+          Alcotest.test_case "negative solution" `Quick test_simplex_negative_solution;
+          Alcotest.test_case "fractional vertex" `Quick test_simplex_fractional_vertex;
+          Alcotest.test_case "redundant rows" `Quick test_simplex_redundant_rows
+        ] );
+      qsuite "simplex-props" [ prop_simplex_sound ];
+      ( "fourier-motzkin",
+        [ Alcotest.test_case "interval projection" `Quick test_fm_projection_interval;
+          Alcotest.test_case "empty detection" `Quick test_fm_empty_detection;
+          Alcotest.test_case "membership" `Quick test_polyhedron_membership
+        ] );
+      qsuite "fm-props" [ prop_fm_projection_sound; prop_fm_projection_tight ];
+      ( "ilp",
+        [ Alcotest.test_case "rounds up" `Quick test_ilp_rounds_up;
+          Alcotest.test_case "knapsackish" `Quick test_ilp_knapsackish;
+          Alcotest.test_case "integer infeasible" `Quick test_ilp_infeasible;
+          Alcotest.test_case "lexmin" `Quick test_ilp_lexmin;
+          Alcotest.test_case "lexmin order" `Quick test_ilp_lexmin_order_matters
+        ] );
+      qsuite "ilp-props" [ prop_ilp_dominates_grid ]
+    ]

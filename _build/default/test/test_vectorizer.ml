@@ -1,0 +1,135 @@
+(* Tests for the non-linear optimizer: cost model (Section V), influenced
+   dimension scenarios (Algorithm 2) and constraint-tree generation. *)
+
+open Ir
+open Vectorizer
+
+let fig2 = Ops.Classics.fig2 ~n:8 ()
+let y = Kernel.stmt fig2 "Y"
+let x = Kernel.stmt fig2 "X"
+
+let test_strides () =
+  (* D[k][i][j] in an 8x8x8 tensor: stride 64 in k, 8 in i, 1 in j. *)
+  let d_access = List.nth (Stmt.reads y) 2 in
+  Alcotest.(check string) "access is D" "D" d_access.Access.tensor;
+  Alcotest.(check int) "stride k" 64 (Costmodel.stride fig2 y d_access ~iter:"kY");
+  Alcotest.(check int) "stride i" 8 (Costmodel.stride fig2 y d_access ~iter:"iY");
+  Alcotest.(check int) "stride j" 1 (Costmodel.stride fig2 y d_access ~iter:"jY");
+  (* C[i][j] is constant in k *)
+  let c_access = y.Stmt.write in
+  Alcotest.(check int) "stride C in k" 0 (Costmodel.stride fig2 y c_access ~iter:"kY")
+
+let test_vector_width () =
+  (* B[i][k] along k: contiguous, 8 % 4 = 0 -> width 4. *)
+  Alcotest.(check int) "B along k" 4 (Costmodel.vector_width fig2 x ~iter:"kX" x.Stmt.write);
+  (* B[i][k] along i: stride 8 -> not vectorizable. *)
+  Alcotest.(check int) "B along i" 1 (Costmodel.vector_width fig2 x ~iter:"iX" x.Stmt.write);
+  (* extent not divisible by 2: no vector type *)
+  let k7 = Ops.Classics.fig2 ~n:7 () in
+  let x7 = Kernel.stmt k7 "X" in
+  Alcotest.(check int) "extent 7" 1 (Costmodel.vector_width k7 x7 ~iter:"kX" x7.Stmt.write);
+  (* extent 6: float2 *)
+  let k6 = Ops.Classics.fig2 ~n:6 () in
+  let x6 = Kernel.stmt k6 "X" in
+  Alcotest.(check int) "extent 6" 2 (Costmodel.vector_width k6 x6 ~iter:"kX" x6.Stmt.write)
+
+let test_cost_prefers_contiguous_innermost () =
+  let cost it = Costmodel.cost fig2 y ~iter:it ~innermost:true ~thread_budget:1024 in
+  Alcotest.(check bool) "j beats k" true (cost "jY" > cost "kY");
+  Alcotest.(check bool) "j beats i" true (cost "jY" > cost "iY")
+
+let test_cost_write_priority () =
+  (* For the pure transpose out[i][j] = a[j][i], innermost j vectorizes the
+     store (w1 = 5) while innermost i vectorizes only the load (w2 = 3):
+     the store must win. *)
+  let k = Ops.Classics.cast_transpose ~n:8 ~m:8 () in
+  let t = Kernel.stmt k "T" in
+  let cost it = Costmodel.cost k t ~iter:it ~innermost:true ~thread_budget:1024 in
+  Alcotest.(check bool) "store side wins" true (cost "j" > cost "i");
+  (* With inverted weights the load side would win. *)
+  let w = { Costmodel.default_weights with w1 = 1.0; w2 = 5.0 } in
+  let cost' it = Costmodel.cost ~weights:w k t ~iter:it ~innermost:true ~thread_budget:1024 in
+  Alcotest.(check bool) "inverted weights flip" true (cost' "i" > cost' "j")
+
+let test_scenarios_fig2 () =
+  let sx = Option.get (Scenario.build fig2 x ~alternative:0) in
+  let sy = Option.get (Scenario.build fig2 y ~alternative:0) in
+  Alcotest.(check (list string)) "X dims" [ "iX"; "kX" ] sx.Scenario.dims;
+  Alcotest.(check (list string)) "Y dims" [ "iY"; "kY"; "jY" ] sy.Scenario.dims;
+  Alcotest.(check (option string)) "X vec" (Some "kX") sx.Scenario.vector_iter;
+  Alcotest.(check (option string)) "Y vec" (Some "jY") sy.Scenario.vector_iter;
+  Alcotest.(check int) "Y width" 4 sy.Scenario.vector_width
+
+let test_scenario_alternatives () =
+  let s0 = Option.get (Scenario.build fig2 y ~alternative:0) in
+  let s1 = Option.get (Scenario.build fig2 y ~alternative:1) in
+  Alcotest.(check bool) "different innermost" true
+    (List.nth s0.Scenario.dims 2 <> List.nth s1.Scenario.dims 2);
+  Alcotest.(check bool) "scores ordered" true (s0.Scenario.score >= s1.Scenario.score);
+  Alcotest.(check bool) "no 4th alternative" true
+    (Scenario.build fig2 y ~alternative:3 = None)
+
+let test_tree_shape () =
+  let t = Treegen.influence_for fig2 in
+  Alcotest.(check bool) "at most 8 branches" true (List.length t <= 8);
+  Alcotest.(check bool) "at least 2 branches" true (List.length t >= 2);
+  Alcotest.(check int) "depth = max stmt dim" 3 (Scheduling.Influence.depth t);
+  (* leaves carry vectorization payloads *)
+  let leaves = Scheduling.Influence.leaves t in
+  Alcotest.(check bool) "leaf has payload" true
+    (List.exists
+       (fun (n : Scheduling.Influence.node) ->
+         List.mem_assoc (Treegen.vector_annotation_key "Y") n.payload)
+       leaves)
+
+let test_annotation_roundtrip () =
+  Alcotest.(check (option (pair string int))) "parse" (Some ("jY", 4))
+    (Treegen.parse_vector_annotation "jY:4");
+  Alcotest.(check (option (pair string int))) "garbage" None
+    (Treegen.parse_vector_annotation "nonsense")
+
+let test_influenced_schedule_fig2 () =
+  (* The full pipeline: Algorithm 2 -> tree -> Algorithm 1 must produce the
+     paper's Fig. 2(c) schedule. *)
+  let infl = Treegen.influence_for fig2 in
+  let sched, stats = Scheduling.Scheduler.schedule ~influence:infl fig2 in
+  Alcotest.(check bool) "legal" true
+    (Scheduling.Legality.is_legal sched fig2 (Deps.Analysis.dependences fig2));
+  let e dim stmt = Polyhedra.Linexpr.to_string (Scheduling.Schedule.expr_for sched ~dim ~stmt) in
+  Alcotest.(check string) "dim0 Y" "iY" (e 0 "Y");
+  Alcotest.(check string) "dim1 Y" "kY" (e 1 "Y");
+  Alcotest.(check string) "dim2 Y" "jY" (e 2 "Y");
+  Alcotest.(check string) "dim1 X" "kX" (e 1 "X");
+  Alcotest.(check (option string)) "vec Y" (Some "jY:4")
+    (Scheduling.Schedule.annotation sched (Treegen.vector_annotation_key "Y"));
+  Alcotest.(check bool) "not abandoned" false stats.influence_abandoned
+
+let test_influenced_all_classics_legal () =
+  List.iter
+    (fun (name, mk) ->
+      let k = mk () in
+      let infl = Treegen.influence_for k in
+      let sched, _ = Scheduling.Scheduler.schedule ~influence:infl k in
+      Alcotest.(check bool) (name ^ " influenced legal") true
+        (Scheduling.Legality.is_legal sched k (Deps.Analysis.dependences k)))
+    Ops.Classics.all_small
+
+let () =
+  Alcotest.run "vectorizer"
+    [ ( "costmodel",
+        [ Alcotest.test_case "strides" `Quick test_strides;
+          Alcotest.test_case "vector width" `Quick test_vector_width;
+          Alcotest.test_case "contiguous innermost" `Quick test_cost_prefers_contiguous_innermost;
+          Alcotest.test_case "write priority" `Quick test_cost_write_priority
+        ] );
+      ( "scenario",
+        [ Alcotest.test_case "fig2 scenarios" `Quick test_scenarios_fig2;
+          Alcotest.test_case "alternatives" `Quick test_scenario_alternatives
+        ] );
+      ( "treegen",
+        [ Alcotest.test_case "tree shape" `Quick test_tree_shape;
+          Alcotest.test_case "annotation roundtrip" `Quick test_annotation_roundtrip;
+          Alcotest.test_case "influenced fig2" `Quick test_influenced_schedule_fig2;
+          Alcotest.test_case "influenced classics legal" `Quick test_influenced_all_classics_legal
+        ] )
+    ]
