@@ -1,9 +1,14 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation, plus ablations of the design choices called out in DESIGN.md.
 
-   Usage:  dune exec bench/main.exe [target...]
+   Usage:  dune exec bench/main.exe [--stats] [--trace FILE] [target...]
    Targets: table1 table2 fig2 fig3 ablation-weights ablation-scenarios
-            ablation-backtrack micro all (default: all) *)
+            ablation-backtrack micro all (default: all)
+
+   --stats prints the observability counter table and the pass-timing
+   report after the last target; --trace FILE records the structured
+   decision trace of the whole run as JSON (see EXPERIMENTS.md for the
+   schema). *)
 
 let fmt = Format.std_formatter
 
@@ -233,9 +238,18 @@ let targets =
   ]
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec split_flags stats trace rest = function
+    | [] -> (stats, trace, List.rev rest)
+    | "--stats" :: r -> split_flags true trace rest r
+    | "--trace" :: file :: r -> split_flags stats (Some file) rest r
+    | x :: r -> split_flags stats trace (x :: rest) r
+  in
+  let stats, trace, requested = split_flags false None [] args in
+  if Option.is_some trace then Obs.Trace.enable ();
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as rest) when not (List.mem "all" rest) -> rest
+    match requested with
+    | _ :: _ when not (List.mem "all" requested) -> requested
     | _ -> List.map fst targets
   in
   List.iter
@@ -245,4 +259,15 @@ let () =
       | None ->
         Format.eprintf "unknown target %s (available: %s)@." t
           (String.concat ", " (List.map fst targets)))
-    requested
+    requested;
+  (match trace with
+   | Some file -> (
+     try
+       Obs.Trace.write_file file;
+       Format.eprintf "trace: %d events written to %s@." (Obs.Trace.length ()) file
+     with Sys_error e -> Format.eprintf "trace: cannot write %s: %s@." file e)
+   | None -> ());
+  if stats then begin
+    Format.fprintf fmt "@.counters:@.%a" Obs.Counters.pp_table ();
+    Format.fprintf fmt "@.pass timings:@.%a" Obs.Span.pp_report ()
+  end

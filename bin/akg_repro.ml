@@ -14,6 +14,47 @@ let verbose_arg =
   Arg.(value & flag & info [ "verbose" ] ~doc)
 
 (* ------------------------------------------------------------------ *)
+(* observability flags (shared by every pipeline command)               *)
+(* ------------------------------------------------------------------ *)
+
+let stats_arg =
+  let doc =
+    "After the command, print the observability counter table (ILP solves, simplex \
+     pivots, backtracks, simulated memory transactions, ...) and the hierarchical \
+     pass-timing report."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Record a structured trace of every scheduling decision (scheduler ILP solves and \
+     backtracking, vectorizer scenario ranking, codegen pass timings, simulator \
+     reports) and write it to $(docv) as JSON."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let with_obs stats trace f =
+  if Option.is_some trace then Obs.Trace.enable ();
+  let code = f () in
+  let code =
+    match trace with
+    | None -> code
+    | Some file -> (
+      try
+        Obs.Trace.write_file file;
+        Format.eprintf "trace: %d events written to %s@." (Obs.Trace.length ()) file;
+        code
+      with Sys_error e ->
+        Format.eprintf "trace: cannot write %s: %s@." file e;
+        1)
+  in
+  if stats then begin
+    Format.printf "@.counters:@.%a" Obs.Counters.pp_table ();
+    Format.printf "@.pass timings:@.%a" Obs.Span.pp_report ()
+  end;
+  code
+
+(* ------------------------------------------------------------------ *)
 (* operator lookup                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -113,8 +154,9 @@ let schedule_cmd =
   let tree_flag =
     Arg.(value & flag & info [ "tree" ] ~doc:"Also print the influence constraint tree.")
   in
-  let run name version tree verbose =
+  let run name version tree verbose stats trace =
     setup_logs verbose;
+    with_obs stats trace @@ fun () ->
     with_op
       (fun k ->
         (if tree && version <> Isl then
@@ -135,10 +177,11 @@ let schedule_cmd =
       name
   in
   Cmd.v (Cmd.info "schedule" ~doc:"Schedule an operator and check legality")
-    Term.(const run $ op_arg $ version_arg $ tree_flag $ verbose_arg)
+    Term.(const run $ op_arg $ version_arg $ tree_flag $ verbose_arg $ stats_arg $ trace_arg)
 
 let codegen_cmd =
-  let run name version =
+  let run name version stats trace =
+    with_obs stats trace @@ fun () ->
     with_op
       (fun k ->
         let _, _, c = compile version k in
@@ -146,10 +189,11 @@ let codegen_cmd =
       name
   in
   Cmd.v (Cmd.info "codegen" ~doc:"Print generated CUDA-like code")
-    Term.(const run $ op_arg $ version_arg)
+    Term.(const run $ op_arg $ version_arg $ stats_arg $ trace_arg)
 
 let simulate_cmd =
-  let run name version =
+  let run name version stats trace =
+    with_obs stats trace @@ fun () ->
     with_op
       (fun k ->
         let _, _, c = compile version k in
@@ -158,10 +202,11 @@ let simulate_cmd =
       name
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Run the GPU performance model")
-    Term.(const run $ op_arg $ version_arg)
+    Term.(const run $ op_arg $ version_arg $ stats_arg $ trace_arg)
 
 let eval_cmd =
-  let run name =
+  let run name stats trace =
+    with_obs stats trace @@ fun () ->
     with_op
       (fun k ->
         let r = Harness.Eval.evaluate_op ~name k in
@@ -169,14 +214,16 @@ let eval_cmd =
           "isl %.2fus  tvm %.2fus  novec %.2fus  infl %.2fus  (influenced %b, vec %b)@."
           r.Harness.Eval.isl_us r.tvm_us r.novec_us r.infl_us r.influenced r.vec;
         Format.printf "speedups over isl: tvm %.2f  novec %.2f  infl %.2f@."
-          (r.isl_us /. r.tvm_us) (r.isl_us /. r.novec_us) (r.isl_us /. r.infl_us))
+          (r.isl_us /. r.tvm_us) (r.isl_us /. r.novec_us) (r.isl_us /. r.infl_us);
+        if stats then Harness.Tables.stats_table Format.std_formatter [ r ])
       name
   in
   Cmd.v (Cmd.info "eval" ~doc:"Compare the four compiler versions on one operator")
-    Term.(const run $ op_arg)
+    Term.(const run $ op_arg $ stats_arg $ trace_arg)
 
 let check_cmd =
-  let run name =
+  let run name stats trace =
+    with_obs stats trace @@ fun () ->
     with_op
       (fun k ->
         List.iter
@@ -195,10 +242,11 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Interpret original vs compiled code and compare results bit-for-bit")
-    Term.(const run $ op_arg)
+    Term.(const run $ op_arg $ stats_arg $ trace_arg)
 
 let tune_cmd =
-  let run name version =
+  let run name version stats trace =
+    with_obs stats trace @@ fun () ->
     with_op
       (fun k ->
         let sched, _, _ = compile version k in
@@ -217,13 +265,14 @@ let tune_cmd =
       name
   in
   Cmd.v (Cmd.info "tune" ~doc:"Auto-tune tile sizes on the GPU model")
-    Term.(const run $ op_arg $ version_arg)
+    Term.(const run $ op_arg $ version_arg $ stats_arg $ trace_arg)
 
 let network_cmd =
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NETWORK" ~doc:"Network name")
   in
-  let run name =
+  let run name stats trace =
+    with_obs stats trace @@ fun () ->
     match network_of_name name with
     | None ->
       Format.eprintf "unknown network %s@." name;
@@ -236,10 +285,14 @@ let network_cmd =
       in
       Harness.Tables.table2_header Format.std_formatter;
       Harness.Tables.table2_row Format.std_formatter n.Ops.Networks.name results;
+      if stats then begin
+        Format.printf "@.per-operator scheduling statistics:@.";
+        Harness.Tables.stats_table Format.std_formatter results
+      end;
       0
   in
   Cmd.v (Cmd.info "network" ~doc:"Evaluate one network suite (a Table II row)")
-    Term.(const run $ name_arg)
+    Term.(const run $ name_arg $ stats_arg $ trace_arg)
 
 let () =
   let doc = "Polyhedral scheduling with constraint injection (CGO'22 reproduction)" in

@@ -8,8 +8,21 @@ type report = {
   coalescing_efficiency : float;
 }
 
+let c_runs = Obs.Counters.create "gpusim.runs" ~doc:"simulated kernel executions"
+
+let c_requests =
+  Obs.Counters.create "gpusim.mem_requests"
+    ~doc:"simulated warp-level memory transactions (rounded)"
+
+let c_sectors =
+  Obs.Counters.create "gpusim.mem_sectors" ~doc:"simulated 32-byte DRAM sectors (rounded)"
+
 let run ?(machine = Machine.v100) compiled =
-  let mem = Memsim.collect machine compiled in
+  Obs.Span.with_ "gpusim.run" @@ fun () ->
+  Obs.Counters.incr c_runs;
+  let mem = Obs.Span.with_ "gpusim.memsim" (fun () -> Memsim.collect machine compiled) in
+  Obs.Counters.add c_requests (int_of_float mem.Memsim.requests);
+  Obs.Counters.add c_sectors (int_of_float mem.Memsim.sectors);
   let m = machine in
   let coalescing_efficiency =
     if mem.Memsim.bytes > 0. then mem.Memsim.useful_bytes /. mem.Memsim.bytes else 1.0
@@ -63,6 +76,22 @@ let run ?(machine = Machine.v100) compiled =
   let lead = List.fold_left Float.max 0.0 components in
   let others = List.fold_left ( +. ) 0.0 components -. lead in
   let time_s = m.Machine.launch_overhead_s +. lead +. (0.25 *. others) in
+  Obs.Trace.emitf "gpusim.sim" (fun () ->
+      [ ("kernel", Obs.Json.String compiled.Codegen.Compile.kernel.Ir.Kernel.name);
+        ("time_us", Obs.Json.Float (time_s *. 1e6));
+        ("bw_us", Obs.Json.Float (bw_time_s *. 1e6));
+        ("latency_us", Obs.Json.Float (latency_time_s *. 1e6));
+        ("compute_us", Obs.Json.Float (compute_time_s *. 1e6));
+        ("issue_us", Obs.Json.Float (issue_time_s *. 1e6));
+        ("requests", Obs.Json.Float mem.Memsim.requests);
+        ("sectors", Obs.Json.Float mem.Memsim.sectors);
+        ("bytes", Obs.Json.Float mem.Memsim.bytes);
+        ("useful_bytes", Obs.Json.Float mem.Memsim.useful_bytes);
+        ("coalescing", Obs.Json.Float coalescing_efficiency);
+        ("warps", Obs.Json.Float mem.Memsim.warps);
+        ("blocks", Obs.Json.Int mem.Memsim.blocks);
+        ("threads_per_block", Obs.Json.Int mem.Memsim.threads_per_block)
+      ]);
   { time_s; bw_time_s; latency_time_s; compute_time_s; issue_time_s; mem;
     coalescing_efficiency }
 

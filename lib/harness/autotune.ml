@@ -12,6 +12,7 @@ let lower_with ?vectorize ?vec_min_parallel tile schedule kernel =
       ~tile_sizes:(fun _ -> Some s) schedule kernel
 
 let sweep ?machine ?(candidates = [ 8; 16; 32 ]) ?vectorize schedule kernel =
+  Obs.Span.with_ "harness.tune_sweep" @@ fun () ->
   List.map
     (fun tile ->
       let c = lower_with ?vectorize tile schedule kernel in
@@ -20,17 +21,41 @@ let sweep ?machine ?(candidates = [ 8; 16; 32 ]) ?vectorize schedule kernel =
 
 let tune ?machine ?(candidates = [ 8; 16; 32 ]) ?vectorize ?vec_min_parallel schedule
     kernel =
+  Obs.Span.with_ "harness.tune" @@ fun () ->
+  let points =
+    List.map
+      (fun tile ->
+        let c = lower_with ?vectorize ?vec_min_parallel tile schedule kernel in
+        (tile, Gpusim.Sim.time_us (Gpusim.Sim.run ?machine c), c))
+      (None :: List.map Option.some candidates)
+  in
   let best =
     List.fold_left
-      (fun acc tile ->
-        let c = lower_with ?vectorize ?vec_min_parallel tile schedule kernel in
-        let t = Gpusim.Sim.time_us (Gpusim.Sim.run ?machine c) in
+      (fun acc (tile, t, c) ->
         match acc with
         | Some (_, bt, _) when bt <= t -> acc
         | _ -> Some (tile, t, c))
-      None
-      (None :: List.map Option.some candidates)
+      None points
   in
   match best with
-  | Some (tile, time_us, compiled) -> { tile; time_us; compiled }
+  | Some (tile, time_us, compiled) ->
+    Obs.Trace.emitf "harness.tune" (fun () ->
+        [ ("kernel", Obs.Json.String kernel.Ir.Kernel.name);
+          ( "candidates",
+            Obs.Json.List
+              (List.map
+                 (fun (tile, t, _) ->
+                   Obs.Json.Assoc
+                     [ ( "tile",
+                         match tile with
+                         | None -> Obs.Json.Null
+                         | Some s -> Obs.Json.Int s );
+                       ("time_us", Obs.Json.Float t)
+                     ])
+                 points) );
+          ( "chosen",
+            match tile with None -> Obs.Json.Null | Some s -> Obs.Json.Int s );
+          ("time_us", Obs.Json.Float time_us)
+        ]);
+    { tile; time_us; compiled }
   | None -> assert false

@@ -1,3 +1,21 @@
+type sched_obs = {
+  ilp_solves : int;
+  bb_nodes : int;
+  sibling_moves : int;
+  ancestor_backtracks : int;
+  scc_separations : int;
+  abandoned : bool;
+  sched_s : float;
+}
+
+type op_obs = {
+  isl_sched : sched_obs;
+  infl_sched : sched_obs;
+  tree_s : float;
+  lower_s : float;
+  sim_s : float;
+}
+
 type op_result = {
   op_name : string;
   isl_us : float;
@@ -6,6 +24,7 @@ type op_result = {
   infl_us : float;
   influenced : bool;
   vec : bool;
+  obs : op_obs;
 }
 
 let rows_equal (a : Scheduling.Schedule.t) (b : Scheduling.Schedule.t) =
@@ -25,33 +44,101 @@ let rec has_vector_loop = function
   | Codegen.Ast.VecExec _ -> true
   | Codegen.Ast.For l -> l.Codegen.Ast.step > 1 || has_vector_loop l.Codegen.Ast.body
 
+(* Runs the scheduler while measuring wall time and the branch-and-bound
+   node delta it caused, turning its per-run stats into a [sched_obs]. *)
+let timed_schedule ?influence kernel =
+  let bb0 = Obs.Counters.find "ilp.bb_nodes" in
+  let (sched, stats), sched_s =
+    Obs.Span.timed (fun () -> Scheduling.Scheduler.schedule ?influence kernel)
+  in
+  let obs =
+    { ilp_solves = stats.Scheduling.Scheduler.ilp_solves;
+      bb_nodes = Obs.Counters.find "ilp.bb_nodes" - bb0;
+      sibling_moves = stats.sibling_moves;
+      ancestor_backtracks = stats.ancestor_backtracks;
+      scc_separations = stats.scc_separations;
+      abandoned = stats.influence_abandoned;
+      sched_s
+    }
+  in
+  (sched, stats, obs)
+
 let evaluate_op ?(machine = Gpusim.Machine.v100) ~name kernel =
-  let isl_sched, _ = Scheduling.Scheduler.schedule kernel in
-  let tree = Vectorizer.Treegen.influence_for kernel in
-  let infl_sched, infl_stats = Scheduling.Scheduler.schedule ~influence:tree kernel in
-  let time c = Gpusim.Sim.time_us (Gpusim.Sim.run ~machine c) in
-  let isl_c = Codegen.Compile.lower ~vectorize:false isl_sched kernel in
-  let novec_c = Codegen.Compile.lower ~vectorize:false infl_sched kernel in
-  let infl_c = Codegen.Compile.lower ~vectorize:true ~vec_min_parallel:2048 infl_sched kernel in
+  Obs.Span.with_ "harness.op" @@ fun () ->
+  Obs.Trace.emitf "harness.op_start" (fun () -> [ ("op", Obs.Json.String name) ]);
+  let isl_sched, _, isl_obs = timed_schedule kernel in
+  let tree, tree_s = Obs.Span.timed (fun () -> Vectorizer.Treegen.influence_for kernel) in
+  let infl_sched, infl_stats, infl_obs = timed_schedule ~influence:tree kernel in
+  let lower_s = ref 0.0 and sim_s = ref 0.0 in
+  let lower f =
+    let r, dt = Obs.Span.timed f in
+    lower_s := !lower_s +. dt;
+    r
+  in
+  let time c =
+    let r, dt = Obs.Span.timed (fun () -> Gpusim.Sim.time_us (Gpusim.Sim.run ~machine c)) in
+    sim_s := !sim_s +. dt;
+    r
+  in
+  let version label us =
+    Obs.Trace.emitf "harness.version" (fun () ->
+        [ ("op", Obs.Json.String name);
+          ("version", Obs.Json.String label);
+          ("time_us", Obs.Json.Float us)
+        ]);
+    us
+  in
+  let isl_c = lower (fun () -> Codegen.Compile.lower ~vectorize:false isl_sched kernel) in
+  let novec_c = lower (fun () -> Codegen.Compile.lower ~vectorize:false infl_sched kernel) in
+  let infl_c =
+    lower (fun () ->
+        Codegen.Compile.lower ~vectorize:true ~vec_min_parallel:2048 infl_sched kernel)
+  in
   let tvm_us =
-    List.fold_left
-      (fun acc c -> acc +. time c)
-      0.0
-      (Baselines.Tvm.compile kernel)
+    version "tvm"
+      (List.fold_left
+         (fun acc c -> acc +. time c)
+         0.0
+         (lower (fun () -> Baselines.Tvm.compile kernel)))
   in
   let vec = has_vector_loop infl_c.Codegen.Compile.ast in
   let influenced =
     (not infl_stats.Scheduling.Scheduler.influence_abandoned)
     && ((not (rows_equal isl_sched infl_sched)) || vec)
   in
-  { op_name = name;
-    isl_us = time isl_c;
-    tvm_us;
-    novec_us = time novec_c;
-    infl_us = time infl_c;
-    influenced;
-    vec
-  }
+  let r =
+    { op_name = name;
+      isl_us = version "isl" (time isl_c);
+      tvm_us;
+      novec_us = version "novec" (time novec_c);
+      infl_us = version "infl" (time infl_c);
+      influenced;
+      vec;
+      obs =
+        { isl_sched = isl_obs;
+          infl_sched = infl_obs;
+          tree_s;
+          lower_s = !lower_s;
+          sim_s = !sim_s
+        }
+    }
+  in
+  Obs.Trace.emitf "harness.op" (fun () ->
+      [ ("op", Obs.Json.String name);
+        ("influenced", Obs.Json.Bool r.influenced);
+        ("vec", Obs.Json.Bool r.vec);
+        ("isl_ilp_solves", Obs.Json.Int isl_obs.ilp_solves);
+        ("infl_ilp_solves", Obs.Json.Int infl_obs.ilp_solves);
+        ("infl_bb_nodes", Obs.Json.Int infl_obs.bb_nodes);
+        ("sibling_moves", Obs.Json.Int infl_obs.sibling_moves);
+        ("ancestor_backtracks", Obs.Json.Int infl_obs.ancestor_backtracks);
+        ("abandoned", Obs.Json.Bool infl_obs.abandoned);
+        ("sched_ms", Obs.Json.Float ((isl_obs.sched_s +. infl_obs.sched_s) *. 1e3));
+        ("tree_ms", Obs.Json.Float (tree_s *. 1e3));
+        ("lower_ms", Obs.Json.Float (r.obs.lower_s *. 1e3));
+        ("sim_ms", Obs.Json.Float (r.obs.sim_s *. 1e3))
+      ]);
+  r
 
 let evaluate_suite ?machine ?(progress = fun _ -> ()) ops =
   List.map

@@ -12,6 +12,28 @@
     vectorization preparation); it counts as {e vec} when the backend pass
     actually rewrote a loop with vector types. *)
 
+type sched_obs = {
+  ilp_solves : int;  (** per-dimension ILP solves of this scheduler run *)
+  bb_nodes : int;  (** branch-and-bound nodes those solves explored *)
+  sibling_moves : int;
+  ancestor_backtracks : int;
+  scc_separations : int;
+  abandoned : bool;
+  sched_s : float;  (** wall-clock seconds spent scheduling *)
+}
+(** Scheduler-internal statistics of one {!Scheduling.Scheduler.schedule}
+    run, as observed through {!Obs}. *)
+
+type op_obs = {
+  isl_sched : sched_obs;  (** the uninfluenced baseline run *)
+  infl_sched : sched_obs;  (** the influenced run (shared by novec/infl) *)
+  tree_s : float;  (** influence-tree construction seconds *)
+  lower_s : float;  (** all codegen lowerings, seconds *)
+  sim_s : float;  (** all GPU-model simulations, seconds *)
+}
+(** Per-operator compile+simulate breakdown behind one {!op_result} —
+    rendered by {!Tables.stats_table} and the CLI's [--stats] flag. *)
+
 type op_result = {
   op_name : string;
   isl_us : float;
@@ -20,6 +42,7 @@ type op_result = {
   infl_us : float;
   influenced : bool;
   vec : bool;
+  obs : op_obs;
 }
 
 val evaluate_op :

@@ -44,6 +44,47 @@ let table2 ?machine ?progress fmt networks =
   in
   all
 
+let stats_header fmt =
+  Format.fprintf fmt
+    "%-28s | %9s %9s %8s | %4s %4s %4s %5s | %9s %9s %9s %9s@."
+    "operator" "ilp(isl)" "ilp(infl)" "bb-nodes" "sib" "back" "scc" "aband"
+    "sched(ms)" "tree(ms)" "lower(ms)" "sim(ms)"
+
+let stats_row fmt (r : Eval.op_result) =
+  let o = r.Eval.obs in
+  Format.fprintf fmt
+    "%-28s | %9d %9d %8d | %4d %4d %4d %5s | %9.2f %9.2f %9.2f %9.2f@."
+    r.Eval.op_name o.Eval.isl_sched.Eval.ilp_solves o.Eval.infl_sched.Eval.ilp_solves
+    (o.Eval.isl_sched.Eval.bb_nodes + o.Eval.infl_sched.Eval.bb_nodes)
+    o.Eval.infl_sched.Eval.sibling_moves o.Eval.infl_sched.Eval.ancestor_backtracks
+    o.Eval.infl_sched.Eval.scc_separations
+    (if o.Eval.infl_sched.Eval.abandoned then "yes" else "no")
+    ((o.Eval.isl_sched.Eval.sched_s +. o.Eval.infl_sched.Eval.sched_s) *. 1e3)
+    (o.Eval.tree_s *. 1e3) (o.Eval.lower_s *. 1e3) (o.Eval.sim_s *. 1e3)
+
+let stats_table fmt results =
+  stats_header fmt;
+  List.iter (stats_row fmt) results;
+  let sum f = List.fold_left (fun acc r -> acc +. f r) 0.0 results in
+  let sumi f = List.fold_left (fun acc r -> acc + f r) 0 results in
+  Format.fprintf fmt
+    "%-28s | %9d %9d %8d | %4d %4d %4d %5d | %9.2f %9.2f %9.2f %9.2f@."
+    (Printf.sprintf "TOTAL (%d ops)" (List.length results))
+    (sumi (fun r -> r.Eval.obs.Eval.isl_sched.Eval.ilp_solves))
+    (sumi (fun r -> r.Eval.obs.Eval.infl_sched.Eval.ilp_solves))
+    (sumi (fun r ->
+         r.Eval.obs.Eval.isl_sched.Eval.bb_nodes + r.Eval.obs.Eval.infl_sched.Eval.bb_nodes))
+    (sumi (fun r -> r.Eval.obs.Eval.infl_sched.Eval.sibling_moves))
+    (sumi (fun r -> r.Eval.obs.Eval.infl_sched.Eval.ancestor_backtracks))
+    (sumi (fun r -> r.Eval.obs.Eval.infl_sched.Eval.scc_separations))
+    (sumi (fun r -> if r.Eval.obs.Eval.infl_sched.Eval.abandoned then 1 else 0))
+    (sum (fun r ->
+         (r.Eval.obs.Eval.isl_sched.Eval.sched_s +. r.Eval.obs.Eval.infl_sched.Eval.sched_s)
+         *. 1e3))
+    (sum (fun r -> r.Eval.obs.Eval.tree_s *. 1e3))
+    (sum (fun r -> r.Eval.obs.Eval.lower_s *. 1e3))
+    (sum (fun r -> r.Eval.obs.Eval.sim_s *. 1e3))
+
 let geomean_line fmt per_network =
   let speedups =
     List.map

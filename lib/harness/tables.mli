@@ -19,3 +19,13 @@ val table2 :
 
 val geomean_line : Format.formatter -> (string * Eval.op_result list) list -> unit
 (** The headline number: geometric mean of per-network infl speedups. *)
+
+val stats_header : Format.formatter -> unit
+
+val stats_row : Format.formatter -> Eval.op_result -> unit
+
+val stats_table : Format.formatter -> Eval.op_result list -> unit
+(** The observability companion of Table II: per-operator ILP-solve
+    counts, influence-tree backtracking activity, and the compile/simulate
+    time breakdown from {!Eval.op_obs}, with a totals row — what the CLI
+    prints under [--stats]. *)

@@ -1,0 +1,39 @@
+type t = { cname : string; doc : string; mutable v : int }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+let create ?(doc = "") cname =
+  match Hashtbl.find_opt registry cname with
+  | Some c -> c
+  | None ->
+    let c = { cname; doc; v = 0 } in
+    Hashtbl.replace registry cname c;
+    c
+
+let incr c = c.v <- c.v + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Obs.Counters.add: negative amount";
+  c.v <- c.v + n
+
+let value c = c.v
+
+let name c = c.cname
+
+let find cname =
+  match Hashtbl.find_opt registry cname with
+  | Some c -> c.v
+  | None -> 0
+
+let reset_all () = Hashtbl.iter (fun _ c -> c.v <- 0) registry
+
+let snapshot () =
+  Hashtbl.fold (fun _ c acc -> (c.cname, c.v) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp_table fmt () =
+  let entries = List.filter (fun (_, v) -> v <> 0) (snapshot ()) in
+  let width =
+    List.fold_left (fun acc (n, _) -> max acc (String.length n)) 8 entries
+  in
+  List.iter (fun (n, v) -> Format.fprintf fmt "%-*s %12d@." width n v) entries

@@ -1,0 +1,9 @@
+module Json = Json
+module Counters = Counters
+module Span = Span
+module Trace = Trace
+
+let reset_all () =
+  Counters.reset_all ();
+  Span.reset ();
+  Trace.clear ()

@@ -1,0 +1,24 @@
+(** Observability substrate for the scheduling pipeline.
+
+    Three near-zero-overhead primitives shared by every layer of the
+    reproduction:
+    - {!Counters}: named monotone counters (ILP solves, simplex pivots,
+      backtracks, simulated memory transactions, ...);
+    - {!Span}: hierarchical wall-clock timing with an aggregate report
+      (where does compile time go);
+    - {!Trace}: an append-only structured event log with JSON emission
+      (why was this schedule chosen), carried by the {!Json} value type.
+
+    Counters and spans are always on (an increment or a clock read);
+    tracing is opt-in via {!Trace.enable} — the CLI's [--trace FILE.json]
+    and [--stats] flags are thin wrappers over this module. *)
+
+module Json = Json
+module Counters = Counters
+module Span = Span
+module Trace = Trace
+
+val reset_all : unit -> unit
+(** Zeroes every counter, clears the span report and drops the recorded
+    trace — call between measured runs (does not change whether tracing
+    is enabled). *)

@@ -1,0 +1,51 @@
+type cell = { mutable count : int; mutable total_s : float }
+
+let buckets : (string, cell) Hashtbl.t = Hashtbl.create 32
+
+(* current path, innermost first *)
+let stack : string list ref = ref []
+
+let now () = Unix.gettimeofday ()
+
+let record path dt =
+  match Hashtbl.find_opt buckets path with
+  | Some c ->
+    c.count <- c.count + 1;
+    c.total_s <- c.total_s +. dt
+  | None -> Hashtbl.replace buckets path { count = 1; total_s = dt }
+
+let with_ name f =
+  let path = String.concat "/" (List.rev (name :: !stack)) in
+  let saved = !stack in
+  stack := name :: saved;
+  let t0 = now () in
+  Fun.protect
+    ~finally:(fun () ->
+      record path (now () -. t0);
+      stack := saved)
+    f
+
+let timed f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
+
+let depth () = List.length !stack
+
+let reset () = Hashtbl.reset buckets
+
+let report () =
+  Hashtbl.fold (fun path c acc -> (path, c.count, c.total_s) :: acc) buckets []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let pp_report fmt () =
+  let entries = report () in
+  let width =
+    List.fold_left (fun acc (p, _, _) -> max acc (String.length p)) 8 entries
+  in
+  Format.fprintf fmt "%-*s %8s %12s %12s@." width "span" "calls" "total(ms)" "mean(ms)";
+  List.iter
+    (fun (p, n, t) ->
+      Format.fprintf fmt "%-*s %8d %12.3f %12.4f@." width p n (t *. 1e3)
+        (t *. 1e3 /. float_of_int (max n 1)))
+    entries

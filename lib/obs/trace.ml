@@ -1,0 +1,53 @@
+type event = {
+  seq : int;
+  kind : string;
+  fields : (string * Json.t) list;
+}
+
+let on = ref false
+let rev_events : event list ref = ref []
+let count = ref 0
+
+let enable () = on := true
+let disable () = on := false
+let enabled () = !on
+
+let clear () =
+  rev_events := [];
+  count := 0
+
+let emit kind fields =
+  if !on then begin
+    rev_events := { seq = !count; kind; fields } :: !rev_events;
+    incr count
+  end
+
+let emitf kind mk = if !on then emit kind (mk ())
+
+let events () = List.rev !rev_events
+
+let length () = !count
+
+let event_to_json e =
+  Json.Assoc (("seq", Json.Int e.seq) :: ("kind", Json.String e.kind) :: e.fields)
+
+let to_json () =
+  Json.Assoc
+    [ ("schema", Json.String "akg-repro-trace");
+      ("version", Json.Int 1);
+      ("events", Json.List (List.map event_to_json (events ())))
+    ]
+
+let write_file path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      (* one event per line so the file greps and diffs well *)
+      output_string oc "{\"schema\":\"akg-repro-trace\",\"version\":1,\"events\":[\n";
+      List.iteri
+        (fun i e ->
+          if i > 0 then output_string oc ",\n";
+          output_string oc (Json.to_string (event_to_json e)))
+        (events ());
+      output_string oc "\n]}\n")

@@ -1,0 +1,48 @@
+(** Append-only structured event trace.
+
+    Pipeline layers emit typed events ([kind] plus JSON fields); the
+    harness serializes the whole trace to a JSON document that records
+    every scheduling decision of a run.  Tracing is off by default and
+    {!emitf} takes a thunk, so instrumented hot paths pay one boolean
+    test when tracing is disabled.
+
+    Event kinds are dotted paths grouped by layer ([scheduler.solve],
+    [vectorizer.rank], [codegen.pass], [gpusim.sim], [harness.version],
+    ...); the full schema is documented in [EXPERIMENTS.md]. *)
+
+type event = {
+  seq : int;  (** 0-based position in the trace *)
+  kind : string;
+  fields : (string * Json.t) list;
+}
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val clear : unit -> unit
+(** Drops all recorded events and resets the sequence number (does not
+    change whether tracing is enabled). *)
+
+val emit : string -> (string * Json.t) list -> unit
+(** [emit kind fields] appends an event; a no-op when tracing is off. *)
+
+val emitf : string -> (unit -> (string * Json.t) list) -> unit
+(** Like {!emit} but the fields are only computed when tracing is on —
+    use this whenever building the fields does real work. *)
+
+val events : unit -> event list
+(** Recorded events, oldest first. *)
+
+val length : unit -> int
+
+val event_to_json : event -> Json.t
+(** [{"seq": ..., "kind": ..., <fields>}]; an event field named [seq] or
+    [kind] would be shadowed by the envelope, so emitters avoid those. *)
+
+val to_json : unit -> Json.t
+(** The whole trace: [{"schema": "akg-repro-trace", "version": 1,
+    "events": [...]}]. *)
+
+val write_file : string -> unit
+(** Writes {!to_json} to a file, one event per line for greppability. *)

@@ -5,14 +5,24 @@ exception Unbounded_objective
 
 let default_max_nodes = 50_000
 
+let c_solves = Obs.Counters.create "ilp.solves" ~doc:"branch-and-bound runs"
+let c_nodes = Obs.Counters.create "ilp.bb_nodes" ~doc:"branch-and-bound nodes explored"
+let c_infeasible = Obs.Counters.create "ilp.infeasible" ~doc:"ILPs with no integer point"
+let c_limit = Obs.Counters.create "ilp.limit_reached" ~doc:"node budget exhaustions"
+
 (* Branch and bound.  The LP relaxation value is a valid lower bound, so a
    node is pruned as soon as its relaxation cannot strictly improve on the
    incumbent.  Bland's-rule simplex underneath keeps everything exact. *)
 let branch_and_bound ~max_nodes ~constraints ~integer_vars objective =
+  Obs.Counters.incr c_solves;
   let nodes = ref 0 in
   let rec bb cs incumbent =
     incr nodes;
-    if !nodes > max_nodes then raise Limit_reached;
+    Obs.Counters.incr c_nodes;
+    if !nodes > max_nodes then begin
+      Obs.Counters.incr c_limit;
+      raise Limit_reached
+    end;
     match Simplex.minimize cs objective with
     | Simplex.Infeasible -> incumbent
     | Simplex.Unbounded -> raise Unbounded_objective
@@ -37,7 +47,9 @@ let branch_and_bound ~max_nodes ~constraints ~integer_vars objective =
           let incumbent = bb (below :: cs) incumbent in
           bb (above :: cs) incumbent)
   in
-  bb constraints None
+  let r = bb constraints None in
+  if Option.is_none r then Obs.Counters.incr c_infeasible;
+  r
 
 let minimize ?(max_nodes = default_max_nodes) ~constraints ~integer_vars objective =
   branch_and_bound ~max_nodes ~constraints ~integer_vars objective

@@ -6,6 +6,10 @@ type result =
   | Unbounded
   | Optimal of Q.t * (string -> Q.t)
 
+let c_solves = Obs.Counters.create "simplex.solves" ~doc:"LP minimizations attempted"
+let c_pivots = Obs.Counters.create "simplex.pivots" ~doc:"tableau pivot operations"
+let c_infeasible = Obs.Counters.create "simplex.infeasible" ~doc:"LPs proven infeasible"
+
 (* The tableau keeps every number exact.  Layout:
    - columns [0 .. ncols-1] are decision columns (x+ / x- pairs per source
      variable, then slacks, then artificials), column [ncols] is the RHS;
@@ -22,6 +26,7 @@ type tableau = {
 }
 
 let pivot t r c =
+  Obs.Counters.incr c_pivots;
   let prow = t.rows.(r) in
   let inv = Q.inv prow.(c) in
   Array.iteri (fun j v -> prow.(j) <- Q.mul inv v) prow;
@@ -87,7 +92,7 @@ let reduce_objective t =
         Array.iteri (fun j v -> t.obj.(j) <- Q.sub v (Q.mul f t.rows.(r).(j))) t.obj)
     t.basis
 
-let minimize constraints objective =
+let minimize_impl constraints objective =
   (* Filter out constraints without variables first. *)
   let contradictory = ref false in
   let constraints =
@@ -214,6 +219,12 @@ let minimize constraints objective =
       end
     end
   end
+
+let minimize constraints objective =
+  Obs.Counters.incr c_solves;
+  let r = minimize_impl constraints objective in
+  (match r with Infeasible -> Obs.Counters.incr c_infeasible | _ -> ());
+  r
 
 let maximize constraints objective =
   match minimize constraints (Linexpr.neg objective) with

@@ -56,3 +56,7 @@ val pp : Format.formatter -> t -> unit
 (** Renders the tree in the style of Fig. 3. *)
 
 val to_string : t -> string
+
+val to_json : t -> Obs.Json.t
+(** Structural JSON rendering (labels, pretty-printed constraints,
+    payloads) for trace emission. *)

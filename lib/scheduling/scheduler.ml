@@ -31,6 +31,32 @@ let log_src = Logs.Src.create "akg.scheduler" ~doc:"influenced scheduling constr
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+let c_schedules = Obs.Counters.create "scheduler.schedules" ~doc:"schedule constructions"
+let c_solves = Obs.Counters.create "scheduler.ilp_solves" ~doc:"per-dimension ILP solves"
+
+let c_injected =
+  Obs.Counters.create "scheduler.constraints_injected"
+    ~doc:"influence constraints joined to dimension ILPs"
+
+let c_nodes_visited =
+  Obs.Counters.create "scheduler.influence_nodes_visited"
+    ~doc:"influence-tree nodes whose constraints were prepared"
+
+let c_sibling = Obs.Counters.create "scheduler.sibling_moves" ~doc:"same-depth fallbacks"
+
+let c_backtracks =
+  Obs.Counters.create "scheduler.ancestor_backtracks"
+    ~doc:"dimension-withdrawing backtracks"
+
+let c_scc = Obs.Counters.create "scheduler.scc_separations" ~doc:"scalar SCC splits"
+let c_abandoned = Obs.Counters.create "scheduler.abandonments" ~doc:"influence trees exhausted"
+
+let c_coincidence_failures =
+  Obs.Counters.create "scheduler.coincidence_failures"
+    ~doc:"dimensions that lost the parallel attempt"
+
+let c_band_ends = Obs.Counters.create "scheduler.band_ends" ~doc:"permutable band boundaries"
+
 (* Depth-first cursor into the influence tree.  [parents] holds, innermost
    first, the remaining (lower-priority) siblings of each ancestor together
    with the loop ordinal that ancestor applies to. *)
@@ -133,6 +159,13 @@ let scc_topo_order stmt_names comp ncomp reach =
   rank
 
 let schedule ?(config = default_config) ?(influence = Influence.empty) kernel =
+  Obs.Span.with_ "scheduler.schedule" @@ fun () ->
+  Obs.Counters.incr c_schedules;
+  Obs.Trace.emitf "scheduler.start" (fun () ->
+      [ ("kernel", Obs.Json.String kernel.Ir.Kernel.name);
+        ("influence_branches", Obs.Json.Int (List.length influence));
+        ("influence_size", Obs.Json.Int (Influence.size influence))
+      ]);
   let stats =
     { ilp_solves = 0; loop_dims = 0; scalar_dims = 0; coincidence_failures = 0;
       band_ends = 0; sibling_moves = 0; ancestor_backtracks = 0;
@@ -244,6 +277,8 @@ let schedule ?(config = default_config) ?(influence = Influence.empty) kernel =
   let solve ?(feautrier = false) ?(prog_negate = false) ~coincident ~with_progression
       ~infl_cs ~infl_objs () =
     stats.ilp_solves <- stats.ilp_solves + 1;
+    Obs.Counters.incr c_solves;
+    Obs.Counters.add c_injected (List.length infl_cs);
     let dim = loop_ordinal () in
     let bounds =
       Builders.var_bounds ~dim ~stmts ~params ~coef_bound:config.coef_bound
@@ -312,14 +347,29 @@ let schedule ?(config = default_config) ?(influence = Influence.empty) kernel =
         (feautrier_obj @ infl_objs)
     in
     let integer_vars = slack_vars @ Builders.ilp_vars ~dim ~stmts ~params in
-    let result =
-      match
-        Ilp.lexmin ~max_nodes:config.max_ilp_nodes ~constraints ~integer_vars objectives
-      with
-      | exception Ilp.Limit_reached -> None
-      | exception Ilp.Unbounded_objective -> None
-      | r -> r
+    let bb_nodes_before = Obs.Counters.find "ilp.bb_nodes" in
+    let result, solve_s =
+      Obs.Span.timed (fun () ->
+          match
+            Ilp.lexmin ~max_nodes:config.max_ilp_nodes ~constraints ~integer_vars
+              objectives
+          with
+          | exception Ilp.Limit_reached -> None
+          | exception Ilp.Unbounded_objective -> None
+          | r -> r)
     in
+    Obs.Trace.emitf "scheduler.solve" (fun () ->
+        [ ("kernel", Obs.Json.String kernel.Ir.Kernel.name);
+          ("dim", Obs.Json.Int dim);
+          ("coincident", Obs.Json.Bool coincident);
+          ("feautrier", Obs.Json.Bool feautrier);
+          ("constraints", Obs.Json.Int (List.length constraints));
+          ("injected", Obs.Json.Int (List.length infl_cs));
+          ("objectives", Obs.Json.Int (List.length objectives));
+          ("feasible", Obs.Json.Bool (Option.is_some result));
+          ("bb_nodes", Obs.Json.Int (Obs.Counters.find "ilp.bb_nodes" - bb_nodes_before));
+          ("dur_us", Obs.Json.Float (solve_s *. 1e6))
+        ]);
     Log.debug (fun m ->
         m "dim %d solve: coincident=%b feautrier=%b constraints=%d -> %s" dim coincident
           feautrier (List.length constraints)
@@ -372,6 +422,11 @@ let schedule ?(config = default_config) ?(influence = Influence.empty) kernel =
     in
     rows_rev := { Schedule.kind = Schedule.Loop { coincident }; exprs } :: !rows_rev;
     stats.loop_dims <- stats.loop_dims + 1;
+    Obs.Trace.emitf "scheduler.commit" (fun () ->
+        [ ("kernel", Obs.Json.String kernel.Ir.Kernel.name);
+          ("dim", Obs.Json.Int dim);
+          ("coincident", Obs.Json.Bool coincident)
+        ]);
     restrict_actives exprs;
     (* advance the influence cursor *)
     match !cursor with
@@ -403,7 +458,14 @@ let schedule ?(config = default_config) ?(influence = Influence.empty) kernel =
           end
           else ds.band_rel <- ds.active_rel)
       dstates;
-    if !retired_any then stats.band_ends <- stats.band_ends + 1;
+    if !retired_any then begin
+      stats.band_ends <- stats.band_ends + 1;
+      Obs.Counters.incr c_band_ends;
+      Obs.Trace.emitf "scheduler.band_end" (fun () ->
+          [ ("kernel", Obs.Json.String kernel.Ir.Kernel.name);
+            ("at_dim", Obs.Json.Int (loop_ordinal ()))
+          ])
+    end;
     !retired_any
   in
 
@@ -428,6 +490,11 @@ let schedule ?(config = default_config) ?(influence = Influence.empty) kernel =
         rows_rev := { Schedule.kind = Schedule.Scalar; exprs } :: !rows_rev;
         stats.scalar_dims <- stats.scalar_dims + 1;
         stats.scc_separations <- stats.scc_separations + 1;
+        Obs.Counters.incr c_scc;
+        Obs.Trace.emitf "scheduler.scc_split" (fun () ->
+            [ ("kernel", Obs.Json.String kernel.Ir.Kernel.name);
+              ("components", Obs.Json.Int ncomp)
+            ]);
         restrict_actives exprs;
         ignore (end_band ());
         true
@@ -438,6 +505,7 @@ let schedule ?(config = default_config) ?(influence = Influence.empty) kernel =
   (* Influence-node constraints at the current ordinal: substitute already
      fixed coefficients; [None] when the node is (now) contradictory. *)
   let prepare_influence (node : Influence.node) =
+    Obs.Counters.incr c_nodes_visited;
     let dim = loop_ordinal () in
     let subst_fixed c =
       List.fold_left
@@ -493,6 +561,12 @@ let schedule ?(config = default_config) ?(influence = Influence.empty) kernel =
       match c.right with
       | sib :: rest ->
         stats.sibling_moves <- stats.sibling_moves + 1;
+        Obs.Counters.incr c_sibling;
+        Obs.Trace.emitf "scheduler.sibling_move" (fun () ->
+            [ ("kernel", Obs.Json.String kernel.Ir.Kernel.name);
+              ("to", Obs.Json.String sib.Influence.label);
+              ("at_dim", Obs.Json.Int (loop_ordinal ()))
+            ]);
         Log.debug (fun m -> m "influence: moving to sibling %S" sib.Influence.label);
         cursor := Some { c with node = sib; right = rest };
         step ()
@@ -503,6 +577,9 @@ let schedule ?(config = default_config) ?(influence = Influence.empty) kernel =
           let rec unwind = function
             | [] ->
               stats.influence_abandoned <- true;
+              Obs.Counters.incr c_abandoned;
+              Obs.Trace.emitf "scheduler.abandon" (fun () ->
+                  [ ("kernel", Obs.Json.String kernel.Ir.Kernel.name) ]);
               Log.info (fun m ->
                   m "influence: no feasible scenario for %s, running uninfluenced"
                     kernel.Ir.Kernel.name);
@@ -512,6 +589,12 @@ let schedule ?(config = default_config) ?(influence = Influence.empty) kernel =
             | ([], _) :: up -> unwind up
             | (sib :: rest, ordinal) :: up ->
               stats.ancestor_backtracks <- stats.ancestor_backtracks + 1;
+              Obs.Counters.incr c_backtracks;
+              Obs.Trace.emitf "scheduler.backtrack" (fun () ->
+                  [ ("kernel", Obs.Json.String kernel.Ir.Kernel.name);
+                    ("to_ordinal", Obs.Json.Int ordinal);
+                    ("to", Obs.Json.String sib.Influence.label)
+                  ]);
               Log.debug (fun m ->
                   m "influence: backtracking to ordinal %d, sibling %S" ordinal
                     sib.Influence.label);
@@ -568,6 +651,7 @@ let schedule ?(config = default_config) ?(influence = Influence.empty) kernel =
            step ()
          | None -> (
            stats.coincidence_failures <- stats.coincidence_failures + 1;
+           Obs.Counters.incr c_coincidence_failures;
            match node with
            | Some n ->
              if n.Influence.require_parallel then node_failure ()
@@ -598,4 +682,16 @@ let schedule ?(config = default_config) ?(influence = Influence.empty) kernel =
       annotations = !payload
     }
   in
+  Obs.Trace.emitf "scheduler.done" (fun () ->
+      [ ("kernel", Obs.Json.String kernel.Ir.Kernel.name);
+        ("loop_dims", Obs.Json.Int stats.loop_dims);
+        ("scalar_dims", Obs.Json.Int stats.scalar_dims);
+        ("ilp_solves", Obs.Json.Int stats.ilp_solves);
+        ("coincidence_failures", Obs.Json.Int stats.coincidence_failures);
+        ("band_ends", Obs.Json.Int stats.band_ends);
+        ("sibling_moves", Obs.Json.Int stats.sibling_moves);
+        ("ancestor_backtracks", Obs.Json.Int stats.ancestor_backtracks);
+        ("scc_separations", Obs.Json.Int stats.scc_separations);
+        ("abandoned", Obs.Json.Bool stats.influence_abandoned)
+      ]);
   (sched, stats)

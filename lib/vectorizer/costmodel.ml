@@ -60,7 +60,21 @@ let stmt_vector_width kernel stmt ~iter =
     (fun acc (a, _) -> max acc (benefits_width kernel stmt ~iter a))
     1 (Stmt.accesses stmt)
 
-let cost ?(weights = default_weights) kernel stmt ~iter ~innermost ~thread_budget =
+type breakdown = {
+  vec_stores : int;
+  vec_loads : int;
+  min_stride : int;
+  near_accesses : int;
+  term_w1 : float;
+  term_w2 : float;
+  term_w3 : float;
+  term_w4 : float;
+  term_w5 : float;
+  total : float;
+}
+
+let cost_breakdown ?(weights = default_weights) kernel stmt ~iter ~innermost
+    ~thread_budget =
   let accesses = List.map fst (Stmt.accesses stmt) in
   let vw =
     if innermost && benefits_width kernel stmt ~iter stmt.Stmt.write > 1 then 1 else 0
@@ -85,9 +99,25 @@ let cost ?(weights = default_weights) kernel stmt ~iter ~innermost ~thread_budge
      the intended "high contribution to the number of threads" preference;
      see DESIGN.md. *)
   let f = if n < thread_budget then 1.0 else 0.0 in
-  (weights.w1 *. float_of_int vw)
-  +. (weights.w2 *. float_of_int vr)
-  +. (weights.w3 /. m_eff)
-  +. (weights.w4 *. float_of_int c)
-  +. (weights.w5 *. f *. float_of_int (min n thread_budget)
-      /. float_of_int (max thread_budget 1))
+  let term_w1 = weights.w1 *. float_of_int vw in
+  let term_w2 = weights.w2 *. float_of_int vr in
+  let term_w3 = weights.w3 /. m_eff in
+  let term_w4 = weights.w4 *. float_of_int c in
+  let term_w5 =
+    weights.w5 *. f *. float_of_int (min n thread_budget)
+    /. float_of_int (max thread_budget 1)
+  in
+  { vec_stores = vw;
+    vec_loads = vr;
+    min_stride = m;
+    near_accesses = c;
+    term_w1;
+    term_w2;
+    term_w3;
+    term_w4;
+    term_w5;
+    total = term_w1 +. term_w2 +. term_w3 +. term_w4 +. term_w5
+  }
+
+let cost ?weights kernel stmt ~iter ~innermost ~thread_budget =
+  (cost_breakdown ?weights kernel stmt ~iter ~innermost ~thread_budget).total

@@ -46,3 +46,27 @@ val cost :
 (** The scoring function of Algorithm 2.  [innermost] selects whether the
     vectorization terms [w1 |Vw| + w2 |Vr|] apply.  [thread_budget] is the
     remaining thread limit [L]. *)
+
+type breakdown = {
+  vec_stores : int;  (** [|Vw|]: 1 when the store vectorizes *)
+  vec_loads : int;  (** [|Vr|]: vectorizable loads *)
+  min_stride : int;  (** smallest absolute access stride *)
+  near_accesses : int;  (** accesses with stride at most one element *)
+  term_w1 : float;
+  term_w2 : float;
+  term_w3 : float;
+  term_w4 : float;
+  term_w5 : float;
+  total : float;  (** what {!cost} returns: the sum of the five terms *)
+}
+(** The individual terms behind one {!cost} score — surfaced in trace
+    events so scenario-ranking decisions can be audited. *)
+
+val cost_breakdown :
+  ?weights:weights ->
+  Ir.Kernel.t ->
+  Ir.Stmt.t ->
+  iter:string ->
+  innermost:bool ->
+  thread_budget:int ->
+  breakdown

@@ -15,7 +15,21 @@ let ranked_candidates ?weights kernel stmt ~taken ~innermost ~thread_budget =
   let scored =
     List.map
       (fun it ->
-        (it, Costmodel.cost ?weights kernel stmt ~iter:it ~innermost ~thread_budget))
+        let b = Costmodel.cost_breakdown ?weights kernel stmt ~iter:it ~innermost ~thread_budget in
+        Obs.Trace.emitf "vectorizer.rank" (fun () ->
+            [ ("stmt", Obs.Json.String stmt.Stmt.name);
+              ("iter", Obs.Json.String it);
+              ("innermost", Obs.Json.Bool innermost);
+              ("thread_budget", Obs.Json.Int thread_budget);
+              ("w1", Obs.Json.Float b.Costmodel.term_w1);
+              ("w2", Obs.Json.Float b.Costmodel.term_w2);
+              ("w3", Obs.Json.Float b.Costmodel.term_w3);
+              ("w4", Obs.Json.Float b.Costmodel.term_w4);
+              ("w5", Obs.Json.Float b.Costmodel.term_w5);
+              ("min_stride", Obs.Json.Int b.Costmodel.min_stride);
+              ("score", Obs.Json.Float b.Costmodel.total)
+            ]);
+        (it, b.Costmodel.total))
       free
   in
   (* stable sort: ties keep original (outer-to-inner) iterator order, and we
@@ -49,13 +63,26 @@ let build ?weights ?(thread_limit = 1024) ?(max_depth = 3) kernel stmt ~alternat
     in
     let dims, score = grow [ inner ] inner_score in
     let width = Costmodel.stmt_vector_width kernel stmt ~iter:inner in
-    Some
+    let sc =
       { stmt = stmt.Stmt.name;
         dims;
         vector_iter = (if width > 1 then Some inner else None);
         vector_width = width;
         score
       }
+    in
+    Obs.Trace.emitf "vectorizer.scenario" (fun () ->
+        [ ("stmt", Obs.Json.String sc.stmt);
+          ("alternative", Obs.Json.Int alternative);
+          ("dims", Obs.Json.List (List.map (fun d -> Obs.Json.String d) sc.dims));
+          ( "vector_iter",
+            match sc.vector_iter with
+            | Some it -> Obs.Json.String it
+            | None -> Obs.Json.Null );
+          ("vector_width", Obs.Json.Int sc.vector_width);
+          ("score", Obs.Json.Float sc.score)
+        ]);
+    Some sc
 
 let build_all ?weights ?(thread_limit = 1024) ?(max_alternatives = 4) kernel =
   let stmts = kernel.Kernel.stmts in

@@ -89,10 +89,16 @@ let branch_key (n : Influence.node) =
   in
   go n
 
+let c_trees = Obs.Counters.create "vectorizer.trees_built" ~doc:"influence trees generated"
+
+let c_branches =
+  Obs.Counters.create "vectorizer.branches" ~doc:"influence branches kept after dedup"
+
 let scenario_sets ?weights ?thread_limit kernel =
   Scenario.build_all ?weights ?thread_limit kernel
 
 let influence_for ?weights ?thread_limit ?(max_branches = 8) kernel =
+  Obs.Span.with_ "vectorizer.treegen" @@ fun () ->
   let sets = scenario_sets ?weights ?thread_limit kernel in
   let branches =
     List.concat
@@ -117,4 +123,17 @@ let influence_for ?weights ?thread_limit ?(max_branches = 8) kernel =
     | _ when n = 0 -> []
     | x :: r -> x :: take (n - 1) r
   in
-  take max_branches uniq
+  let tree = take max_branches uniq in
+  Obs.Counters.incr c_trees;
+  Obs.Counters.add c_branches (List.length tree);
+  Obs.Trace.emitf "vectorizer.tree" (fun () ->
+      [ ("kernel", Obs.Json.String kernel.Kernel.name);
+        ("scenario_sets", Obs.Json.Int (List.length sets));
+        ("branches", Obs.Json.Int (List.length tree));
+        ("size", Obs.Json.Int (Influence.size tree));
+        ( "labels",
+          Obs.Json.List
+            (List.map (fun (n : Influence.node) -> Obs.Json.String n.Influence.label) tree)
+        )
+      ]);
+  tree

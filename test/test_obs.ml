@@ -1,0 +1,285 @@
+(* Tests for the observability layer (lib/obs): counter semantics, span
+   nesting, JSON round-tripping, trace emission, and determinism of the
+   scheduler's counters across identical runs. *)
+
+let reset () = Obs.reset_all ()
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_monotone () =
+  reset ();
+  let c = Obs.Counters.create ~doc:"test counter" "test.mono" in
+  Alcotest.(check int) "starts at zero" 0 (Obs.Counters.value c);
+  Obs.Counters.incr c;
+  Obs.Counters.incr c;
+  Obs.Counters.add c 5;
+  Alcotest.(check int) "accumulates" 7 (Obs.Counters.value c);
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Obs.Counters.add: negative amount")
+    (fun () -> Obs.Counters.add c (-1));
+  Alcotest.(check int) "unchanged after rejected add" 7 (Obs.Counters.value c)
+
+let test_counter_reset_and_find () =
+  reset ();
+  let c = Obs.Counters.create "test.reset" in
+  Obs.Counters.add c 3;
+  Alcotest.(check int) "find by name" 3 (Obs.Counters.find "test.reset");
+  Alcotest.(check int) "find missing is zero" 0 (Obs.Counters.find "no.such.counter");
+  Obs.Counters.reset_all ();
+  Alcotest.(check int) "reset zeroes value" 0 (Obs.Counters.value c);
+  (* the handle stays registered and usable after reset *)
+  Obs.Counters.incr c;
+  Alcotest.(check int) "handle live after reset" 1 (Obs.Counters.find "test.reset")
+
+let test_counter_idempotent_create () =
+  reset ();
+  let a = Obs.Counters.create "test.same" in
+  let b = Obs.Counters.create "test.same" in
+  Obs.Counters.incr a;
+  Obs.Counters.incr b;
+  Alcotest.(check int) "same name shares state" 2 (Obs.Counters.value a)
+
+let test_counter_snapshot_sorted () =
+  reset ();
+  Obs.Counters.add (Obs.Counters.create "test.b") 2;
+  Obs.Counters.add (Obs.Counters.create "test.a") 1;
+  let snap =
+    List.filter (fun (n, _) -> n = "test.a" || n = "test.b") (Obs.Counters.snapshot ())
+  in
+  Alcotest.(check (list (pair string int)))
+    "sorted by name" [ ("test.a", 1); ("test.b", 2) ] snap
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  reset ();
+  let seen_depth = ref (-1) in
+  Obs.Span.with_ "outer" (fun () ->
+      Obs.Span.with_ "inner" (fun () -> seen_depth := Obs.Span.depth ());
+      Obs.Span.with_ "inner" (fun () -> ()));
+  Alcotest.(check int) "depth inside nested span" 2 !seen_depth;
+  Alcotest.(check int) "depth after exit" 0 (Obs.Span.depth ());
+  let report = Obs.Span.report () in
+  let count path =
+    match List.find_opt (fun (p, _, _) -> p = path) report with
+    | Some (_, n, _) -> n
+    | None -> 0
+  in
+  Alcotest.(check int) "outer counted once" 1 (count "outer");
+  Alcotest.(check int) "inner path nests under outer" 2 (count "outer/inner");
+  Alcotest.(check int) "no bare inner bucket" 0 (count "inner")
+
+let test_span_exception_safe () =
+  reset ();
+  (try Obs.Span.with_ "boom" (fun () -> failwith "expected") with Failure _ -> ());
+  Alcotest.(check int) "stack popped after exception" 0 (Obs.Span.depth ());
+  match Obs.Span.report () with
+  | [ ("boom", 1, t) ] -> Alcotest.(check bool) "time recorded" true (t >= 0.)
+  | r -> Alcotest.failf "unexpected report (%d entries)" (List.length r)
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let json_roundtrip j =
+  match Obs.Json.of_string (Obs.Json.to_string j) with
+  | Ok j' -> Obs.Json.equal j j'
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let test_json_roundtrip () =
+  let cases =
+    [ Obs.Json.Null; Obs.Json.Bool true; Obs.Json.Bool false; Obs.Json.Int 0;
+      Obs.Json.Int (-42); Obs.Json.Int max_int; Obs.Json.Float 0.1;
+      Obs.Json.Float 1e-7; Obs.Json.Float (-3.25); Obs.Json.Float 1.000000000000001;
+      Obs.Json.String ""; Obs.Json.String "plain";
+      Obs.Json.String "quotes \" and \\ and \ncontrol \t chars";
+      Obs.Json.String "unicode \xc3\xa9\xe2\x82\xac";
+      Obs.Json.List []; Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Null ];
+      Obs.Json.Assoc [];
+      Obs.Json.Assoc
+        [ ("a", Obs.Json.Int 1);
+          ("nested", Obs.Json.Assoc [ ("l", Obs.Json.List [ Obs.Json.Bool false ]) ])
+        ]
+    ]
+  in
+  List.iteri
+    (fun i j ->
+      Alcotest.(check bool)
+        (Printf.sprintf "case %d round-trips" i)
+        true (json_roundtrip j))
+    cases
+
+let test_json_non_finite () =
+  (* non-finite floats are not representable in JSON; they serialize as null *)
+  Alcotest.(check string) "nan is null" "null" (Obs.Json.to_string (Obs.Json.Float Float.nan));
+  Alcotest.(check string) "inf is null" "null"
+    (Obs.Json.to_string (Obs.Json.Float Float.infinity))
+
+let test_json_parse_errors () =
+  let bad = [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ] in
+  List.iter
+    (fun s ->
+      match Obs.Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" s
+      | Error _ -> ())
+    bad
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_disabled_by_default () =
+  reset ();
+  Alcotest.(check bool) "disabled" false (Obs.Trace.enabled ());
+  Obs.Trace.emitf "never" (fun () -> Alcotest.fail "thunk forced while disabled");
+  Alcotest.(check int) "nothing recorded" 0 (Obs.Trace.length ())
+
+let test_trace_emission_order () =
+  reset ();
+  Obs.Trace.enable ();
+  Obs.Trace.emit "first" [ ("x", Obs.Json.Int 1) ];
+  Obs.Trace.emitf "second" (fun () -> [ ("y", Obs.Json.Bool true) ]);
+  let evs = Obs.Trace.events () in
+  Obs.Trace.disable ();
+  Alcotest.(check int) "two events" 2 (List.length evs);
+  Alcotest.(check (list int)) "sequential seq" [ 0; 1 ]
+    (List.map (fun e -> e.Obs.Trace.seq) evs);
+  Alcotest.(check (list string)) "kinds in order" [ "first"; "second" ]
+    (List.map (fun e -> e.Obs.Trace.kind) evs)
+
+let test_trace_json_roundtrip () =
+  reset ();
+  Obs.Trace.enable ();
+  Obs.Trace.emit "a" [ ("n", Obs.Json.Int 3); ("s", Obs.Json.String "v") ];
+  Obs.Trace.emit "b" [ ("f", Obs.Json.Float 0.5) ];
+  let doc = Obs.Trace.to_json () in
+  Obs.Trace.disable ();
+  Alcotest.(check bool) "trace document round-trips" true (json_roundtrip doc);
+  (match Obs.Json.member "schema" doc with
+   | Some (Obs.Json.String "akg-repro-trace") -> ()
+   | _ -> Alcotest.fail "missing schema tag");
+  match Obs.Json.member "events" doc with
+  | Some (Obs.Json.List evs) -> Alcotest.(check int) "both events present" 2 (List.length evs)
+  | _ -> Alcotest.fail "missing events list"
+
+let test_trace_write_file () =
+  reset ();
+  Obs.Trace.enable ();
+  Obs.Trace.emit "k" [ ("v", Obs.Json.Int 7) ];
+  let file = Filename.temp_file "obs_trace" ".json" in
+  Obs.Trace.write_file file;
+  Obs.Trace.disable ();
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  Sys.remove file;
+  match Obs.Json.of_string contents with
+  | Error e -> Alcotest.failf "file is not valid JSON: %s" e
+  | Ok doc -> (
+    match Obs.Json.member "events" doc with
+    | Some (Obs.Json.List [ ev ]) -> (
+      match Obs.Json.member "kind" ev with
+      | Some (Obs.Json.String "k") -> ()
+      | _ -> Alcotest.fail "event kind not preserved")
+    | _ -> Alcotest.fail "expected exactly one event in file")
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline integration: counters move, and deterministically            *)
+(* ------------------------------------------------------------------ *)
+
+let scheduler_counters () =
+  [ "scheduler.ilp_solves"; "scheduler.influence_nodes_visited";
+    "scheduler.sibling_moves"; "scheduler.ancestor_backtracks";
+    "scheduler.scc_separations"; "scheduler.band_ends"; "ilp.solves";
+    "ilp.bb_nodes"; "simplex.solves"; "simplex.pivots"
+  ]
+  |> List.map (fun n -> (n, Obs.Counters.find n))
+
+let test_scheduler_counters_move () =
+  reset ();
+  let k = Ops.Classics.cast_transpose ~n:8 ~m:8 () in
+  let _ = Scheduling.Scheduler.schedule k in
+  Alcotest.(check bool) "ilp solves counted" true (Obs.Counters.find "ilp.solves" > 0);
+  Alcotest.(check bool) "simplex pivots counted" true
+    (Obs.Counters.find "simplex.pivots" > 0);
+  Alcotest.(check bool) "scheduler solves counted" true
+    (Obs.Counters.find "scheduler.ilp_solves" > 0)
+
+let test_scheduler_counters_deterministic () =
+  let run () =
+    reset ();
+    let k = Ops.Classics.cast_transpose ~n:8 ~m:8 () in
+    let tree = Vectorizer.Treegen.influence_for k in
+    let _ = Scheduling.Scheduler.schedule ~influence:tree k in
+    scheduler_counters ()
+  in
+  let first = run () in
+  let second = run () in
+  Alcotest.(check (list (pair string int)))
+    "identical runs give identical counters" first second;
+  Alcotest.(check bool) "influence tree visited" true
+    (List.assoc "scheduler.influence_nodes_visited" first > 0)
+
+let test_eval_obs_populated () =
+  reset ();
+  let k = Ops.Classics.cast_transpose ~n:8 ~m:8 () in
+  let r = Harness.Eval.evaluate_op ~name:"cast_transpose" k in
+  let o = r.Harness.Eval.obs in
+  Alcotest.(check bool) "isl schedule solves counted" true
+    (o.Harness.Eval.isl_sched.Harness.Eval.ilp_solves > 0);
+  Alcotest.(check bool) "infl schedule solves counted" true
+    (o.Harness.Eval.infl_sched.Harness.Eval.ilp_solves > 0);
+  Alcotest.(check bool) "sched time measured" true
+    (o.Harness.Eval.infl_sched.Harness.Eval.sched_s >= 0.)
+
+let test_trace_covers_pipeline () =
+  reset ();
+  Obs.Trace.enable ();
+  let k = Ops.Classics.cast_transpose ~n:8 ~m:8 () in
+  let _ = Harness.Eval.evaluate_op ~name:"cast_transpose" k in
+  let kinds =
+    List.sort_uniq compare (List.map (fun e -> e.Obs.Trace.kind) (Obs.Trace.events ()))
+  in
+  Obs.Trace.disable ();
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " present") true (List.mem k kinds))
+    [ "scheduler.start"; "scheduler.solve"; "scheduler.done"; "vectorizer.rank";
+      "vectorizer.tree"; "codegen.pass"; "gpusim.sim"; "harness.version";
+      "harness.op" ]
+
+let () =
+  Alcotest.run "obs"
+    [ ( "counters",
+        [ Alcotest.test_case "monotone" `Quick test_counter_monotone;
+          Alcotest.test_case "reset and find" `Quick test_counter_reset_and_find;
+          Alcotest.test_case "idempotent create" `Quick test_counter_idempotent_create;
+          Alcotest.test_case "snapshot sorted" `Quick test_counter_snapshot_sorted
+        ] );
+      ( "spans",
+        [ Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_safe
+        ] );
+      ( "json",
+        [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "non-finite floats" `Quick test_json_non_finite;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "disabled by default" `Quick test_trace_disabled_by_default;
+          Alcotest.test_case "emission order" `Quick test_trace_emission_order;
+          Alcotest.test_case "json roundtrip" `Quick test_trace_json_roundtrip;
+          Alcotest.test_case "write file" `Quick test_trace_write_file
+        ] );
+      ( "pipeline",
+        [ Alcotest.test_case "counters move" `Quick test_scheduler_counters_move;
+          Alcotest.test_case "deterministic" `Quick test_scheduler_counters_deterministic;
+          Alcotest.test_case "eval obs populated" `Quick test_eval_obs_populated;
+          Alcotest.test_case "trace covers pipeline" `Quick test_trace_covers_pipeline
+        ] )
+    ]
