@@ -184,6 +184,20 @@ let ablation_tiling () =
 (* Bechamel micro-benchmarks: compile-time cost of constraint injection *)
 (* ------------------------------------------------------------------ *)
 
+(* Pre-PR ms/run estimates for the same five cases on the reference
+   machine, recorded before the solver fast paths (small-rational Q,
+   warm-started branch-and-bound, ILP memoization) landed; kept here so
+   BENCH_PR2.json always carries the comparison point. *)
+let micro_baseline_ms =
+  [ ("scheduling/fig2-isl", 577.302);
+    ("scheduling/fig2-influenced", 1037.591);
+    ("scheduling/ew-isl", 965.058);
+    ("scheduling/ew-influenced", 1285.082);
+    ("scheduling/treegen-fig2", 22.755)
+  ]
+
+let micro_json_file = "BENCH_PR2.json"
+
 let micro () =
   section "Micro - scheduler runtime, isl vs influenced (Bechamel)";
   let open Bechamel in
@@ -191,6 +205,22 @@ let micro () =
   let ew = Ops.Classics.fused_mul_sub_mul_tensoradd ~n:64 ~m:64 () in
   let tree_fig2 = Vectorizer.Treegen.influence_for fig2 in
   let tree_ew = Vectorizer.Treegen.influence_for ew in
+  (* One deterministic pass over the four scheduling workloads, so the
+     headline solver counters in the JSON don't depend on how many
+     iterations Bechamel decides to run. *)
+  let headline_counters =
+    let before = Obs.Counters.snapshot () in
+    ignore (Scheduling.Scheduler.schedule fig2);
+    ignore (Scheduling.Scheduler.schedule ~influence:tree_fig2 fig2);
+    ignore (Scheduling.Scheduler.schedule ew);
+    ignore (Scheduling.Scheduler.schedule ~influence:tree_ew ew);
+    let after = Obs.Counters.snapshot () in
+    List.filter_map
+      (fun (name, v) ->
+        let v0 = match List.assoc_opt name before with Some x -> x | None -> 0 in
+        if v - v0 <> 0 then Some (name, Obs.Json.Int (v - v0)) else None)
+      after
+  in
   let test =
     Test.make_grouped ~name:"scheduling"
       [ Test.make ~name:"fig2-isl"
@@ -213,15 +243,51 @@ let micro () =
   let raw = Benchmark.all cfg instances test in
   let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
   let merged = Analyze.merge ols instances results in
+  let estimates = ref [] in
   Hashtbl.iter
     (fun _measure tbl ->
       Hashtbl.iter
         (fun name ols ->
           match Analyze.OLS.estimates ols with
-          | Some [ est ] -> Format.fprintf fmt "%-36s %10.3f ms/run@." name (est /. 1e6)
+          | Some [ est ] ->
+            estimates := (name, est) :: !estimates;
+            Format.fprintf fmt "%-36s %10.3f ms/run@." name (est /. 1e6)
           | _ -> Format.fprintf fmt "%-36s (no estimate)@." name)
         tbl)
-    merged
+    merged;
+  (* Machine-readable companion to the table above: per-benchmark ns/run,
+     the recorded pre-PR baseline, and the headline solver counters. *)
+  let results_json =
+    List.map (fun (name, est) -> (name, Obs.Json.Float est)) !estimates
+  in
+  let speedups =
+    List.filter_map
+      (fun (name, est) ->
+        match List.assoc_opt name micro_baseline_ms with
+        | Some base_ms when est > 0.0 ->
+          Some (name, Obs.Json.Float (base_ms /. (est /. 1e6)))
+        | _ -> None)
+      !estimates
+  in
+  let json =
+    Obs.Json.Assoc
+      [ ("benchmark", Obs.Json.String "micro");
+        ("unit", Obs.Json.String "ns/run");
+        ("results", Obs.Json.Assoc results_json);
+        ( "baseline_ms_per_run",
+          Obs.Json.Assoc
+            (List.map (fun (n, v) -> (n, Obs.Json.Float v)) micro_baseline_ms) );
+        ("speedup_vs_baseline", Obs.Json.Assoc speedups);
+        ("counters", Obs.Json.Assoc headline_counters)
+      ]
+  in
+  (try
+     let oc = open_out micro_json_file in
+     output_string oc (Obs.Json.to_string json);
+     output_char oc '\n';
+     close_out oc;
+     Format.fprintf fmt "(machine-readable results written to %s)@." micro_json_file
+   with Sys_error e -> Format.eprintf "micro: cannot write %s: %s@." micro_json_file e)
 
 (* ------------------------------------------------------------------ *)
 

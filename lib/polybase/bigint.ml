@@ -249,6 +249,31 @@ let to_int x =
   | Some v -> v
   | None -> failwith "Bigint.to_int: overflow"
 
+let numbits x = numbits_mag x.mag
+
+let shift_right x k =
+  if k < 0 then invalid_arg "Bigint.shift_right: negative shift"
+  else if k = 0 || x.sign = 0 then x
+  else begin
+    let limbs = k / base_bits and bits = k mod base_bits in
+    let n = Array.length x.mag in
+    if limbs >= n then zero
+    else begin
+      let m = n - limbs in
+      let r = Array.make m 0 in
+      for i = 0 to m - 1 do
+        let lo = x.mag.(i + limbs) lsr bits in
+        let hi =
+          if bits > 0 && i + limbs + 1 < n then
+            (x.mag.(i + limbs + 1) lsl (base_bits - bits)) land limb_mask
+          else 0
+        in
+        r.(i) <- lo lor hi
+      done;
+      mk x.sign r
+    end
+  end
+
 let mul_int a n = mul a (of_int n)
 let add_int a n = add a (of_int n)
 

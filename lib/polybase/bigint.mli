@@ -65,4 +65,13 @@ val max : t -> t -> t
 val mul_int : t -> int -> t
 val add_int : t -> int -> t
 
+val numbits : t -> int
+(** Bits in the magnitude: [0] for zero, and otherwise the unique [b] with
+    [2^(b-1) <= |x| < 2^b]. *)
+
+val shift_right : t -> int -> t
+(** [shift_right x k] discards the [k] low bits of the magnitude (truncation
+    toward zero, sign preserved).
+    @raise Invalid_argument on a negative shift. *)
+
 val pp : Format.formatter -> t -> unit

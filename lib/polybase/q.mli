@@ -1,9 +1,13 @@
-(** Exact rational numbers over {!Bigint}.
+(** Exact rational numbers.
 
     Values are kept normalized: the denominator is positive and coprime with
-    the numerator; zero is [0/1]. *)
+    the numerator; zero is [0/1].  The representation carries small
+    numerator/denominator pairs as native ints (the overwhelmingly common
+    case in the polyhedral stack) and falls back to {!Bigint} components
+    only when a reduced component exceeds the native-int fast-path bound;
+    all operations remain exact in both cases. *)
 
-type t = private { num : Bigint.t; den : Bigint.t }
+type t
 
 val zero : t
 val one : t

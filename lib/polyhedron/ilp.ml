@@ -9,20 +9,138 @@ let c_solves = Obs.Counters.create "ilp.solves" ~doc:"branch-and-bound runs"
 let c_nodes = Obs.Counters.create "ilp.bb_nodes" ~doc:"branch-and-bound nodes explored"
 let c_infeasible = Obs.Counters.create "ilp.infeasible" ~doc:"ILPs with no integer point"
 let c_limit = Obs.Counters.create "ilp.limit_reached" ~doc:"node budget exhaustions"
+let c_warm = Obs.Counters.create "ilp.warm_restarts"
+    ~doc:"tableau extensions re-optimized with the dual simplex"
 
-(* Branch and bound.  The LP relaxation value is a valid lower bound, so a
-   node is pruned as soon as its relaxation cannot strictly improve on the
-   incumbent.  Bland's-rule simplex underneath keeps everything exact. *)
-let branch_and_bound ~max_nodes ~constraints ~integer_vars objective =
-  Obs.Counters.incr c_solves;
+(* Per-stage node budget, shared by the warm and cold paths: every explored
+   node counts, including children whose relaxation turns out infeasible. *)
+let node_counter max_nodes =
   let nodes = ref 0 in
-  let rec bb cs incumbent =
+  fun () ->
     incr nodes;
     Obs.Counters.incr c_nodes;
     if !nodes > max_nodes then begin
       Obs.Counters.incr c_limit;
       raise Limit_reached
-    end;
+    end
+
+let branch_var integer_vars a =
+  List.find_opt (fun x -> not (Q.is_integer (a x))) integer_vars
+
+(* Warm branch and bound.  The root tableau is phase-1-feasible and already
+   optimal for the current objective; each branch copies the parent tableau,
+   pushes one bound row and re-optimizes with the dual simplex — no node
+   ever rebuilds phase 1 or re-reduces the objective from scratch.  The LP
+   relaxation value is a valid lower bound, so a node is pruned as soon as
+   its relaxation cannot strictly improve on the incumbent. *)
+let bb_tab ~count ~integer_vars tab =
+  let rec node t incumbent =
+    let v = Simplex.Tableau.value t in
+    let dominated =
+      match incumbent with
+      | Some (best, _) -> Q.compare v best >= 0
+      | None -> false
+    in
+    if dominated then incumbent
+    else begin
+      let a = Simplex.Tableau.assignment t in
+      match branch_var integer_vars a with
+      | None -> Some (v, a)
+      | Some x ->
+        let qx = a x in
+        let below =
+          Linexpr.add_term Q.one x (Linexpr.const (Q.neg (Q.of_bigint (Q.floor qx))))
+        in
+        let above =
+          Linexpr.add_term Q.one x (Linexpr.const (Q.neg (Q.of_bigint (Q.ceil qx))))
+        in
+        let incumbent =
+          branch (fun () -> Simplex.Tableau.with_le t below) incumbent
+        in
+        branch (fun () -> Simplex.Tableau.with_ge t above) incumbent
+    end
+  and branch mk incumbent =
+    count ();
+    Obs.Counters.incr c_warm;
+    match mk () with
+    | None -> incumbent
+    | Some t -> node t incumbent
+  in
+  node tab None
+
+(* One minimization stage over an existing root tableau. *)
+let run_stage ~max_nodes ~integer_vars tab objective =
+  Obs.Counters.incr c_solves;
+  let count = node_counter max_nodes in
+  count ();
+  match Simplex.Tableau.set_objective tab objective with
+  | `Unbounded -> raise Unbounded_objective
+  | `Optimal ->
+    let r = bb_tab ~count ~integer_vars tab in
+    if Option.is_none r then Obs.Counters.incr c_infeasible;
+    r
+
+(* Root construction proved the system infeasible before any stage ran;
+   account for it like a one-node infeasible branch-and-bound run. *)
+let infeasible_root ~max_nodes =
+  Obs.Counters.incr c_solves;
+  (node_counter max_nodes) ();
+  Obs.Counters.incr c_infeasible;
+  None
+
+let minimize ?(max_nodes = default_max_nodes) ~constraints ~integer_vars objective =
+  match Simplex.Tableau.of_constraints ~extra_exprs:[ objective ] constraints with
+  | None -> infeasible_root ~max_nodes
+  | Some tab -> run_stage ~max_nodes ~integer_vars tab objective
+
+let lexmin ?(max_nodes = default_max_nodes) ~constraints ~integer_vars objectives =
+  match Simplex.Tableau.of_constraints ~extra_exprs:objectives constraints with
+  | None -> Option.map snd (infeasible_root ~max_nodes)
+  | Some tab ->
+    (* After each stage, pin its integer optimum by pushing [o <= v] and
+       [o >= v] onto the same root tableau (two dual-simplex restarts), so
+       the next stage starts from a basis that is already feasible — the
+       warm-start that makes backtracking-heavy schedules cheap. *)
+    let pin tab e =
+      Obs.Counters.incr c_warm;
+      match Simplex.Tableau.with_le tab e with
+      | None -> None
+      | Some tab ->
+        Obs.Counters.incr c_warm;
+        Simplex.Tableau.with_ge tab e
+    in
+    let rec go tab = function
+      | [] -> (
+        (* Pure integer feasibility. *)
+        match run_stage ~max_nodes ~integer_vars tab Linexpr.zero with
+        | Some (_, a) -> Some a
+        | None -> None)
+      | [ last ] -> (
+        match run_stage ~max_nodes ~integer_vars tab last with
+        | Some (_, a) -> Some a
+        | None -> None)
+      | o :: rest -> (
+        match run_stage ~max_nodes ~integer_vars tab o with
+        | None -> None
+        | Some (v, _) -> (
+          match pin tab (Linexpr.sub o (Linexpr.const v)) with
+          | None -> None (* unreachable: [v] is attained on the tableau *)
+          | Some tab -> go tab rest))
+    in
+    go tab objectives
+
+(* ------------------------------------------------------------------ *)
+(* Cold reference implementation                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-warm-start solver: every node re-solves its LP from scratch via
+   {!Simplex.minimize}.  Kept as the differential-testing oracle for the
+   tableau-reusing path above. *)
+let branch_and_bound_cold ~max_nodes ~constraints ~integer_vars objective =
+  Obs.Counters.incr c_solves;
+  let count = node_counter max_nodes in
+  let rec bb cs incumbent =
+    count ();
     match Simplex.minimize cs objective with
     | Simplex.Infeasible -> incumbent
     | Simplex.Unbounded -> raise Unbounded_objective
@@ -34,7 +152,7 @@ let branch_and_bound ~max_nodes ~constraints ~integer_vars objective =
       in
       if dominated then incumbent
       else
-        match List.find_opt (fun x -> not (Q.is_integer (a x))) integer_vars with
+        match branch_var integer_vars a with
         | None -> Some (v, a)
         | Some x ->
           let qx = a x in
@@ -51,22 +169,23 @@ let branch_and_bound ~max_nodes ~constraints ~integer_vars objective =
   if Option.is_none r then Obs.Counters.incr c_infeasible;
   r
 
-let minimize ?(max_nodes = default_max_nodes) ~constraints ~integer_vars objective =
-  branch_and_bound ~max_nodes ~constraints ~integer_vars objective
+let minimize_cold ?(max_nodes = default_max_nodes) ~constraints ~integer_vars objective
+    =
+  branch_and_bound_cold ~max_nodes ~constraints ~integer_vars objective
 
-let lexmin ?(max_nodes = default_max_nodes) ~constraints ~integer_vars objectives =
+let lexmin_cold ?(max_nodes = default_max_nodes) ~constraints ~integer_vars objectives
+    =
   let rec go cs = function
     | [] -> (
-      (* Pure integer feasibility. *)
-      match branch_and_bound ~max_nodes ~constraints:cs ~integer_vars Linexpr.zero with
+      match branch_and_bound_cold ~max_nodes ~constraints:cs ~integer_vars Linexpr.zero with
       | Some (_, a) -> Some a
       | None -> None)
     | [ last ] -> (
-      match branch_and_bound ~max_nodes ~constraints:cs ~integer_vars last with
+      match branch_and_bound_cold ~max_nodes ~constraints:cs ~integer_vars last with
       | Some (_, a) -> Some a
       | None -> None)
     | o :: rest -> (
-      match branch_and_bound ~max_nodes ~constraints:cs ~integer_vars o with
+      match branch_and_bound_cold ~max_nodes ~constraints:cs ~integer_vars o with
       | None -> None
       | Some (v, _) ->
         go (Constr.eq0 (Linexpr.sub o (Linexpr.const v)) :: cs) rest)

@@ -3,7 +3,15 @@
     Branch-and-bound over the exact simplex of {!Simplex}.  This is the
     solver behind every scheduling dimension computation: the polyhedral
     scheduler minimizes a lexicographic sequence of objectives over the
-    space of scheduling coefficients with integrality requirements. *)
+    space of scheduling coefficients with integrality requirements.
+
+    The solver is warm-started: phase 1 runs once per call on a shared
+    {!Simplex.Tableau}, each branch-and-bound node copies its parent's
+    optimal tableau and re-optimizes one pushed bound row with the dual
+    simplex, and successive lexicographic stages reuse the same root
+    tableau with the previous optima pinned as rows.  The [_cold] variants
+    re-solve every node from scratch and exist as differential-testing
+    oracles. *)
 
 open Polybase
 
@@ -32,3 +40,19 @@ val lexmin :
     value, optimizes the second, and so on; the returned assignment attains
     the lexicographic minimum and is integral on [integer_vars].  With an
     empty objective list this is integer feasibility. *)
+
+val minimize_cold :
+  ?max_nodes:int ->
+  constraints:Constr.t list ->
+  integer_vars:string list ->
+  Linexpr.t ->
+  (Q.t * (string -> Q.t)) option
+(** Reference implementation of {!minimize} without tableau reuse. *)
+
+val lexmin_cold :
+  ?max_nodes:int ->
+  constraints:Constr.t list ->
+  integer_vars:string list ->
+  Linexpr.t list ->
+  (string -> Q.t) option
+(** Reference implementation of {!lexmin} without tableau reuse. *)

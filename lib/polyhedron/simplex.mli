@@ -1,8 +1,16 @@
 (** Exact rational linear programming.
 
-    Two-phase primal simplex with Bland's rule over {!Polybase.Q}, so there
-    is no cycling and no rounding.  Variables are free (internally split into
-    positive and negative parts); constraints are {!Constr.t} lists. *)
+    Two-phase primal simplex over {!Polybase.Q}, so there is no rounding.
+    The entering rule is Dantzig's (most negative reduced cost) and falls
+    back to Bland's after a streak of degenerate pivots, which keeps the
+    anti-cycling guarantee without Bland's pivot counts on non-degenerate
+    problems.  Variables are free (internally split into positive and
+    negative parts); constraints are {!Constr.t} lists.
+
+    Besides the one-shot entry points, {!Tableau} exposes the solver
+    incrementally: build a feasible tableau once, then install successive
+    objectives and push extra rows with dual-simplex re-optimization — the
+    warm-start primitive used by {!Ilp}. *)
 
 open Polybase
 
@@ -22,3 +30,31 @@ val feasible_point : Constr.t list -> (string -> Q.t) option
     the rationals. *)
 
 val is_feasible : Constr.t list -> bool
+
+(** Incremental interface over a phase-1-feasible tableau. *)
+module Tableau : sig
+  type t
+
+  val of_constraints : ?extra_exprs:Linexpr.t list -> Constr.t list -> t option
+  (** Run phase 1 once over [constraints]; [None] if infeasible.  Variables
+      appearing only in [extra_exprs] (later objectives or pushed rows) get
+      columns too — {!set_objective}/{!with_le} reject unknown variables. *)
+
+  val set_objective : t -> Linexpr.t -> [ `Optimal | `Unbounded ]
+  (** Install an objective and re-optimize in place with the primal simplex
+      (the tableau stays primal-feasible across {!with_le}, so no fresh
+      phase 1 is needed). *)
+
+  val value : t -> Q.t
+  (** Objective value at the current basis. *)
+
+  val assignment : t -> string -> Q.t
+  (** Variable values at the current basis (zero for unknown variables). *)
+
+  val with_le : t -> Linexpr.t -> t option
+  (** [with_le t e] is a copy of [t] extended with the row [e <= 0],
+      re-optimized for the current objective with the dual simplex; [None]
+      if the extended system is infeasible.  [t] itself is unchanged. *)
+
+  val with_ge : t -> Linexpr.t -> t option
+end

@@ -57,6 +57,14 @@ let c_coincidence_failures =
 
 let c_band_ends = Obs.Counters.create "scheduler.band_ends" ~doc:"permutable band boundaries"
 
+let c_cache_hits =
+  Obs.Counters.create "scheduler.ilp_cache_hits"
+    ~doc:"ILP solves answered from the per-schedule cache"
+
+let c_cache_misses =
+  Obs.Counters.create "scheduler.ilp_cache_misses"
+    ~doc:"ILP solves that reached the branch-and-bound solver"
+
 (* Depth-first cursor into the influence tree.  [parents] holds, innermost
    first, the remaining (lower-priority) siblings of each ancestor together
    with the loop ordinal that ancestor applies to. *)
@@ -195,6 +203,13 @@ let schedule ?(config = default_config) ?(influence = Influence.empty) kernel =
        | n :: rest -> Some { node = n; right = rest; parents = []; ordinal = 0 })
   in
   let snapshots : (int, snapshot) Hashtbl.t = Hashtbl.create 8 in
+  (* Influence backtracking (sibling moves, ancestor restores) often
+     reassembles the exact ILP already solved on a previous visit; memoize
+     per schedule construction so those re-solves are table lookups.  The
+     cache is local to this call — a global one would make the solver
+     counters depend on what ran before, breaking run-to-run counter
+     determinism. *)
+  let ilp_cache : (string, (string -> Q.t) option) Hashtbl.t = Hashtbl.create 64 in
 
   let loop_ordinal () = stats.loop_dims in
 
@@ -348,15 +363,36 @@ let schedule ?(config = default_config) ?(influence = Influence.empty) kernel =
     in
     let integer_vars = slack_vars @ Builders.ilp_vars ~dim ~stmts ~params in
     let bb_nodes_before = Obs.Counters.find "ilp.bb_nodes" in
+    let cache_key =
+      let b = Buffer.create 1024 in
+      List.iter (fun c -> Buffer.add_string b (Constr.to_string c); Buffer.add_char b '\n')
+        constraints;
+      Buffer.add_char b '|';
+      List.iter (fun o -> Buffer.add_string b (Linexpr.to_string o); Buffer.add_char b '\n')
+        objectives;
+      Buffer.add_char b '|';
+      List.iter (fun v -> Buffer.add_string b v; Buffer.add_char b ',') integer_vars;
+      Buffer.contents b
+    in
     let result, solve_s =
       Obs.Span.timed (fun () ->
-          match
-            Ilp.lexmin ~max_nodes:config.max_ilp_nodes ~constraints ~integer_vars
-              objectives
-          with
-          | exception Ilp.Limit_reached -> None
-          | exception Ilp.Unbounded_objective -> None
-          | r -> r)
+          match Hashtbl.find_opt ilp_cache cache_key with
+          | Some r ->
+            Obs.Counters.incr c_cache_hits;
+            r
+          | None ->
+            Obs.Counters.incr c_cache_misses;
+            let r =
+              match
+                Ilp.lexmin ~max_nodes:config.max_ilp_nodes ~constraints ~integer_vars
+                  objectives
+              with
+              | exception Ilp.Limit_reached -> None
+              | exception Ilp.Unbounded_objective -> None
+              | r -> r
+            in
+            Hashtbl.add ilp_cache cache_key r;
+            r)
     in
     Obs.Trace.emitf "scheduler.solve" (fun () ->
         [ ("kernel", Obs.Json.String kernel.Ir.Kernel.name);

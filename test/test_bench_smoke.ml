@@ -1,0 +1,39 @@
+(* Smoke test for the Bechamel micro-benchmark harness: one tiny case with
+   a very small quota, so `dune runtest` catches bit-rot in the bench
+   pipeline (staging, measurement, OLS analysis) without costing real
+   time.  The timing itself is not asserted — only that an estimate comes
+   out positive and finite. *)
+
+open Polybase
+
+let test_bechamel_smoke () =
+  let open Bechamel in
+  let a = Q.of_ints 355 113 and b = Q.of_ints 22 7 in
+  let test =
+    Test.make ~name:"q-ops"
+      (Staged.stage (fun () -> ignore (Q.compare (Q.mul (Q.add a b) b) a)))
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:10 ~quota:(Time.second 0.05) ~kde:None () in
+  let raw = Benchmark.all cfg instances test in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  let merged = Analyze.merge ols instances results in
+  let found = ref 0 in
+  Hashtbl.iter
+    (fun _measure tbl ->
+      Hashtbl.iter
+        (fun _name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] ->
+            Alcotest.(check bool) "estimate is positive and finite" true
+              (Float.is_finite est && est > 0.0);
+            incr found
+          | _ -> Alcotest.fail "no OLS estimate produced")
+        tbl)
+    merged;
+  Alcotest.(check bool) "at least one estimate" true (!found >= 1)
+
+let () =
+  Alcotest.run "bench-smoke"
+    [ ("bechamel", [ Alcotest.test_case "tiny run" `Quick test_bechamel_smoke ]) ]

@@ -243,6 +243,102 @@ let prop_solve_consistent =
       | None -> true
       | Some x -> Linalg.vec_equal (Linalg.mat_vec m x) b)
 
+(* ------------------------------------------------------------------ *)
+(* Differential tests: Q's small-native fast path vs a pure-Bigint      *)
+(* reference.  Operands are drawn around the fast-path bound (2^30) and *)
+(* the native-int limits, where promotion/demotion and the no-overflow  *)
+(* argument of the small case are most likely to break.                 *)
+(* ------------------------------------------------------------------ *)
+
+let interesting_int =
+  let open QCheck2.Gen in
+  let sb = 1 lsl 30 in
+  oneof
+    [ int_range (-64) 64;
+      map (fun d -> sb + d) (int_range (-3) 3);
+      map (fun d -> -sb + d) (int_range (-3) 3);
+      map (fun d -> max_int - d) (int_range 0 3);
+      map (fun d -> -(max_int - d)) (int_range 0 3);
+      int_range (-1_000_000_000_000) 1_000_000_000_000
+    ]
+
+let nonzero g = QCheck2.Gen.map (fun n -> if n = 0 then 1 else n) g
+
+let rat_pair_gen =
+  QCheck2.Gen.quad interesting_int (nonzero interesting_int) interesting_int
+    (nonzero interesting_int)
+
+(* Constructed through the Bigint normalization path, independent of the
+   native shortcuts in [Q.of_ints] and the arithmetic under test. *)
+let mkq n d = Q.make (bi n) (bi d)
+
+(* Agreement both by [Q.equal] (which relies on the canonical-form
+   invariant) and by decimal rendering (which does not). *)
+let same_q a b = Q.equal a b && String.equal (Q.to_string a) (Q.to_string b)
+
+let prop_q_fastpath_field_ops =
+  QCheck2.Test.make ~name:"fast path matches bigint reference (+ - * /)"
+    ~count:2000 rat_pair_gen
+    (fun (n1, d1, n2, d2) ->
+      let a = mkq n1 d1 and b = mkq n2 d2 in
+      let bn1 = bi n1 and bd1 = bi d1 and bn2 = bi n2 and bd2 = bi d2 in
+      let radd =
+        Q.make
+          (Bigint.add (Bigint.mul bn1 bd2) (Bigint.mul bn2 bd1))
+          (Bigint.mul bd1 bd2)
+      in
+      let rsub =
+        Q.make
+          (Bigint.sub (Bigint.mul bn1 bd2) (Bigint.mul bn2 bd1))
+          (Bigint.mul bd1 bd2)
+      in
+      let rmul = Q.make (Bigint.mul bn1 bn2) (Bigint.mul bd1 bd2) in
+      same_q (Q.add a b) radd
+      && same_q (Q.sub a b) rsub
+      && same_q (Q.mul a b) rmul
+      && (n2 = 0
+          || same_q (Q.div a b) (Q.make (Bigint.mul bn1 bd2) (Bigint.mul bd1 bn2)))
+      && same_q (Q.of_ints n1 d1) a)
+
+let prop_q_fastpath_compare =
+  QCheck2.Test.make ~name:"fast path matches bigint reference (compare/equal)"
+    ~count:2000 rat_pair_gen
+    (fun (n1, d1, n2, d2) ->
+      let a = mkq n1 d1 and b = mkq n2 d2 in
+      let reference =
+        Bigint.compare
+          (Bigint.mul (Q.num a) (Q.den b))
+          (Bigint.mul (Q.num b) (Q.den a))
+      in
+      Q.compare a b = reference
+      && Q.equal a b = (reference = 0)
+      && Q.compare a a = 0
+      && Q.equal a a)
+
+let prop_q_fastpath_floor_ceil =
+  QCheck2.Test.make ~name:"fast path matches bigint reference (floor/ceil)"
+    ~count:2000
+    (QCheck2.Gen.pair interesting_int (nonzero interesting_int))
+    (fun (n, d) ->
+      let x = mkq n d in
+      Bigint.equal (Q.floor x) (Bigint.fdiv (Q.num x) (Q.den x))
+      && Bigint.equal (Q.ceil x) (Bigint.cdiv (Q.num x) (Q.den x)))
+
+let test_q_to_float_large () =
+  let huge = Bigint.of_string "100000000000000000000000000000000000000000" in
+  (* (huge + 1) / huge does not reduce, and both components overflow a
+     native int: the scaled conversion must still land at ~1.0 *)
+  let x = Q.make (Bigint.add_int huge 1) huge in
+  Alcotest.(check bool) "balanced huge fraction" true
+    (Float.abs (Q.to_float x -. 1.0) < 1e-9);
+  let y = Q.make (Bigint.mul_int huge 7) (Bigint.mul_int (Bigint.add_int huge 3) 2) in
+  Alcotest.(check bool) "7/2 of huge components" true
+    (Float.abs (Q.to_float y -. 3.5) < 1e-9);
+  let p100 = Bigint.mul (Bigint.of_string "1267650600228229401496703205376") Bigint.one in
+  Alcotest.(check (float 1e-6)) "2^100" (Float.pow 2.0 100.0)
+    (Q.to_float (Q.of_bigint p100));
+  Alcotest.(check (float 0.0)) "small exact" 0.25 (Q.to_float (Q.of_ints 1 4))
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -264,9 +360,17 @@ let () =
       ( "q",
         [ Alcotest.test_case "normalization" `Quick test_q_normalization;
           Alcotest.test_case "arithmetic" `Quick test_q_arith;
-          Alcotest.test_case "floor/ceil" `Quick test_q_floor_ceil
+          Alcotest.test_case "floor/ceil" `Quick test_q_floor_ceil;
+          Alcotest.test_case "to_float on large components" `Quick
+            test_q_to_float_large
         ] );
-      qsuite "q-props" [ prop_q_field; prop_q_floor_bound ];
+      qsuite "q-props"
+        [ prop_q_field;
+          prop_q_floor_bound;
+          prop_q_fastpath_field_ops;
+          prop_q_fastpath_compare;
+          prop_q_fastpath_floor_ceil
+        ];
       ( "linalg",
         [ Alcotest.test_case "rref/rank" `Quick test_linalg_rref_rank;
           Alcotest.test_case "inverse" `Quick test_linalg_inverse;

@@ -342,6 +342,139 @@ let prop_ilp_dominates_grid =
         && Q.is_integer (a "x")
         && Q.is_integer (a "y"))
 
+(* ------------------------------------------------------------------ *)
+(* Incremental tableau + warm-started branch-and-bound                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_tableau_matches_oneshot () =
+  let cs =
+    [ Constr.geq (le [ (1, "x") ] 0) (le [] 1);
+      Constr.geq (le [ (1, "y") ] 0) (le [] 1);
+      Constr.leq (le [ (1, "x"); (2, "y") ] 0) (le [] 10)
+    ]
+  in
+  let obj = le [ (1, "x"); (1, "y") ] 0 in
+  match Simplex.Tableau.of_constraints ~extra_exprs:[ obj ] cs with
+  | None -> Alcotest.fail "tableau construction failed on feasible system"
+  | Some t -> (
+    (match Simplex.Tableau.set_objective t obj with
+     | `Unbounded -> Alcotest.fail "bounded problem reported unbounded"
+     | `Optimal -> ());
+    (match Simplex.minimize cs obj with
+     | Simplex.Optimal (v, _) -> check_q "same optimum" v (Simplex.Tableau.value t)
+     | _ -> Alcotest.fail "one-shot solver disagrees on feasibility");
+    (* push x >= 4: optimum moves from x=y=1 to x=4, y=1 *)
+    (match Simplex.Tableau.with_ge t (le [ (1, "x") ] (-4)) with
+     | None -> Alcotest.fail "tightened system still feasible"
+     | Some t' ->
+       check_q "dual re-optimized" (q 5) (Simplex.Tableau.value t');
+       check_q "x pushed to bound" (q 4) (Simplex.Tableau.assignment t' "x");
+       (* the parent tableau is untouched *)
+       check_q "parent optimum intact" (q 2) (Simplex.Tableau.value t));
+    (* push a contradiction: x <= 0 against x >= 1 *)
+    match Simplex.Tableau.with_le t (le [ (1, "x") ] 0) with
+    | Some _ -> Alcotest.fail "contradictory row accepted"
+    | None -> ())
+
+let test_pivot_rule_counts () =
+  (* The one-shot path uses Dantzig's entering rule, the tableau path
+     Bland's.  On this fixed LP suite Dantzig must pivot strictly less —
+     the regression guard for the pivot-rule change. *)
+  let nv = 8 in
+  let var i = Printf.sprintf "v%d" i in
+  let lps =
+    List.init 12 (fun s ->
+        let lower = List.init nv (fun i -> Constr.lower_bound (var i) 0) in
+        let planes =
+          List.init nv (fun j ->
+              let terms =
+                List.init nv (fun i -> (1 + (((i * j) + s + i) mod 5), var i))
+              in
+              Constr.leq (le terms 0) (le [] (25 + j + s)))
+        in
+        let obj =
+          le (List.init nv (fun i -> (-(1 + (((2 * i) + s) mod 7)), var i))) 0
+        in
+        (lower @ planes, obj))
+  in
+  let pivots f =
+    let before = Obs.Counters.find "simplex.pivots" in
+    List.iter f lps;
+    Obs.Counters.find "simplex.pivots" - before
+  in
+  let dantzig = pivots (fun (cs, o) -> ignore (Simplex.minimize cs o)) in
+  let bland =
+    pivots (fun (cs, o) ->
+        match Simplex.Tableau.of_constraints ~extra_exprs:[ o ] cs with
+        | None -> Alcotest.fail "feasible suite reported infeasible"
+        | Some t -> ignore (Simplex.Tableau.set_objective t o))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "dantzig (%d) pivots less than bland (%d)" dantzig bland)
+    true
+    (dantzig < bland)
+
+(* Random small ILPs: box-bounded (so never unbounded), a few extra
+   half-planes, one or two objectives. *)
+let ilp_case_gen =
+  let open QCheck2.Gen in
+  let coef = int_range (-3) 3 in
+  let vars = [ "x"; "y"; "z" ] in
+  let linexpr =
+    map2
+      (fun cs k -> le (List.map2 (fun c v -> (c, v)) cs vars) k)
+      (list_repeat 3 coef) (int_range (-6) 6)
+  in
+  let box =
+    map
+      (fun ub ->
+        List.concat_map
+          (fun v -> [ Constr.lower_bound v 0; Constr.upper_bound v ub ])
+          vars)
+      (int_range 2 6)
+  in
+  let extra = list_size (int_range 0 3) (map Constr.ge0 linexpr) in
+  quad box extra (list_size (int_range 1 2) linexpr) (int_range 0 2)
+
+let prop_warm_matches_cold =
+  QCheck2.Test.make ~name:"warm lexmin matches cold reference" ~count:1000
+    ilp_case_gen
+    (fun (box, extra, objectives, n_int) ->
+      let constraints = box @ extra in
+      let integer_vars = List.filteri (fun i _ -> i <= n_int) [ "x"; "y"; "z" ] in
+      let warm = Ilp.lexmin ~constraints ~integer_vars objectives in
+      let cold = Ilp.lexmin_cold ~constraints ~integer_vars objectives in
+      match (warm, cold) with
+      | None, None -> true
+      | Some _, None | None, Some _ -> false
+      | Some aw, Some ac ->
+        (* The lexicographic objective-value vector is unique even when the
+           attaining point is not; the warm point must also be feasible and
+           integral. *)
+        List.for_all
+          (fun o -> Q.equal (Linexpr.eval aw o) (Linexpr.eval ac o))
+          objectives
+        && List.for_all (Constr.holds aw) constraints
+        && List.for_all (fun v -> Q.is_integer (aw v)) integer_vars)
+
+let prop_warm_minimize_matches_cold =
+  QCheck2.Test.make ~name:"warm minimize matches cold reference" ~count:1000
+    ilp_case_gen
+    (fun (box, extra, objectives, n_int) ->
+      let constraints = box @ extra in
+      let objective = List.hd objectives in
+      let integer_vars = List.filteri (fun i _ -> i <= n_int) [ "x"; "y"; "z" ] in
+      let warm = Ilp.minimize ~constraints ~integer_vars objective in
+      let cold = Ilp.minimize_cold ~constraints ~integer_vars objective in
+      match (warm, cold) with
+      | None, None -> true
+      | Some _, None | None, Some _ -> false
+      | Some (vw, aw), Some (vc, _) ->
+        Q.equal vw vc
+        && Q.equal (Linexpr.eval aw objective) vw
+        && List.for_all (Constr.holds aw) constraints
+        && List.for_all (fun v -> Q.is_integer (aw v)) integer_vars)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -375,5 +508,13 @@ let () =
           Alcotest.test_case "lexmin" `Quick test_ilp_lexmin;
           Alcotest.test_case "lexmin order" `Quick test_ilp_lexmin_order_matters
         ] );
-      qsuite "ilp-props" [ prop_ilp_dominates_grid ]
+      qsuite "ilp-props" [ prop_ilp_dominates_grid ];
+      ( "tableau",
+        [ Alcotest.test_case "matches one-shot solver" `Quick
+            test_tableau_matches_oneshot;
+          Alcotest.test_case "dantzig pivots less than bland" `Quick
+            test_pivot_rule_counts
+        ] );
+      qsuite "warm-vs-cold"
+        [ prop_warm_matches_cold; prop_warm_minimize_matches_cold ]
     ]

@@ -273,6 +273,24 @@ let test_influence_ancestor_backtrack () =
   (* the dim 0 computed under A must have been withdrawn *)
   check_expr "dim0 back to i" sched ~dim:0 ~stmt:"T" "i"
 
+let test_ilp_cache_hits_on_abandon () =
+  (* A no-op root whose only child is impossible at dim 1: the tree is
+     abandoned and the whole construction restarts uninfluenced.  The
+     restarted dimensions assemble exactly the ILPs already solved under
+     the no-op root, so the per-schedule memo table must answer them. *)
+  let k = Ops.Classics.cast_transpose ~n:8 ~m:8 () in
+  let impossible_child =
+    Influence.node ~label:"impossible child"
+      [ Constr.eq0 (cv ~stmt:"T" ~dim:1 "i"); Constr.eq0 (cv ~stmt:"T" ~dim:1 "j") ]
+  in
+  let root = Influence.node ~label:"noop root" [] ~children:[ impossible_child ] in
+  let hits_before = Obs.Counters.find "scheduler.ilp_cache_hits" in
+  let sched, stats = Scheduler.schedule ~influence:[ root ] k in
+  let hits = Obs.Counters.find "scheduler.ilp_cache_hits" - hits_before in
+  Alcotest.(check bool) "abandoned" true stats.influence_abandoned;
+  Alcotest.(check bool) "legal" true (legal k sched);
+  Alcotest.(check bool) "re-solves answered from cache" true (hits >= 1)
+
 let test_influence_loop_interchange () =
   (* Influence can force an interchange the baseline would not do. *)
   let k = Ops.Classics.cast_transpose ~n:8 ~m:8 () in
@@ -379,6 +397,8 @@ let () =
           Alcotest.test_case "abandon" `Quick test_influence_abandon;
           Alcotest.test_case "require parallel" `Quick test_influence_require_parallel;
           Alcotest.test_case "ancestor backtrack" `Quick test_influence_ancestor_backtrack;
+          Alcotest.test_case "ilp cache hits on abandon" `Quick
+            test_ilp_cache_hits_on_abandon;
           Alcotest.test_case "loop interchange" `Quick test_influence_loop_interchange;
           Alcotest.test_case "legality oracle rejects" `Quick test_legality_oracle_rejects
         ] );
