@@ -1,14 +1,16 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation, plus ablations of the design choices called out in DESIGN.md.
 
-   Usage:  dune exec bench/main.exe [--stats] [--trace FILE] [target...]
+   Usage:  dune exec bench/main.exe [--stats] [--trace FILE] [--stats-json FILE]
+                                    [target...]
    Targets: table1 table2 fig2 fig3 ablation-weights ablation-scenarios
             ablation-backtrack micro all (default: all)
 
    --stats prints the observability counter table and the pass-timing
    report after the last target; --trace FILE records the structured
    decision trace of the whole run as JSON (see EXPERIMENTS.md for the
-   schema). *)
+   schema); --stats-json FILE dumps the counters and span totals
+   machine-readably through Obs.Export. *)
 
 let fmt = Format.std_formatter
 
@@ -214,12 +216,8 @@ let micro () =
     ignore (Scheduling.Scheduler.schedule ~influence:tree_fig2 fig2);
     ignore (Scheduling.Scheduler.schedule ew);
     ignore (Scheduling.Scheduler.schedule ~influence:tree_ew ew);
-    let after = Obs.Counters.snapshot () in
-    List.filter_map
-      (fun (name, v) ->
-        let v0 = match List.assoc_opt name before with Some x -> x | None -> 0 in
-        if v - v0 <> 0 then Some (name, Obs.Json.Int (v - v0)) else None)
-      after
+    (* same serialization path as the CLI's --stats-json *)
+    Obs.Export.counters_json ~base:before ()
   in
   let test =
     Test.make_grouped ~name:"scheduling"
@@ -278,7 +276,7 @@ let micro () =
           Obs.Json.Assoc
             (List.map (fun (n, v) -> (n, Obs.Json.Float v)) micro_baseline_ms) );
         ("speedup_vs_baseline", Obs.Json.Assoc speedups);
-        ("counters", Obs.Json.Assoc headline_counters)
+        ("counters", headline_counters)
       ]
   in
   (try
@@ -305,13 +303,14 @@ let targets =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let rec split_flags stats trace rest = function
-    | [] -> (stats, trace, List.rev rest)
-    | "--stats" :: r -> split_flags true trace rest r
-    | "--trace" :: file :: r -> split_flags stats (Some file) rest r
-    | x :: r -> split_flags stats trace (x :: rest) r
+  let rec split_flags stats trace stats_json rest = function
+    | [] -> (stats, trace, stats_json, List.rev rest)
+    | "--stats" :: r -> split_flags true trace stats_json rest r
+    | "--trace" :: file :: r -> split_flags stats (Some file) stats_json rest r
+    | "--stats-json" :: file :: r -> split_flags stats trace (Some file) rest r
+    | x :: r -> split_flags stats trace stats_json (x :: rest) r
   in
-  let stats, trace, requested = split_flags false None [] args in
+  let stats, trace, stats_json, requested = split_flags false None None [] args in
   if Option.is_some trace then Obs.Trace.enable ();
   let requested =
     match requested with
@@ -332,6 +331,11 @@ let () =
        Obs.Trace.write_file file;
        Format.eprintf "trace: %d events written to %s@." (Obs.Trace.length ()) file
      with Sys_error e -> Format.eprintf "trace: cannot write %s: %s@." file e)
+   | None -> ());
+  (match stats_json with
+   | Some file -> (
+     try Obs.Export.write_stats file
+     with Sys_error e -> Format.eprintf "stats-json: cannot write %s: %s@." file e)
    | None -> ());
   if stats then begin
     Format.fprintf fmt "@.counters:@.%a" Obs.Counters.pp_table ();

@@ -33,22 +33,68 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
-let with_obs stats trace f =
-  if Option.is_some trace then Obs.Trace.enable ();
+type trace_format = Fmt_json | Fmt_chrome
+
+let trace_format_arg =
+  let doc =
+    "Format of the $(b,--trace) file: $(b,json) (the native akg-repro-trace document, \
+     readable by $(b,report) and $(b,diff)) or $(b,chrome) (Chrome trace-event JSON, \
+     openable in ui.perfetto.dev)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("json", Fmt_json); ("chrome", Fmt_chrome) ]) Fmt_json
+    & info [ "trace-format" ] ~docv:"FMT" ~doc)
+
+let stats_json_arg =
+  let doc =
+    "Dump the nonzero observability counters and the span totals to $(docv) as JSON \
+     (schema akg-repro-stats) after the command."
+  in
+  Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE" ~doc)
+
+type obs_opts = {
+  stats : bool;
+  trace : string option;
+  trace_format : trace_format;
+  stats_json : string option;
+}
+
+let obs_term =
+  Term.(
+    const (fun stats trace trace_format stats_json ->
+        { stats; trace; trace_format; stats_json })
+    $ stats_arg $ trace_arg $ trace_format_arg $ stats_json_arg)
+
+let with_obs o f =
+  if Option.is_some o.trace then Obs.Trace.enable ();
   let code = f () in
   let code =
-    match trace with
+    match o.trace with
     | None -> code
     | Some file -> (
       try
-        Obs.Trace.write_file file;
+        (match o.trace_format with
+         | Fmt_json -> Obs.Trace.write_file file
+         | Fmt_chrome -> Obs.Chrome.write_file file (Obs.Tracefile.of_live ()));
         Format.eprintf "trace: %d events written to %s@." (Obs.Trace.length ()) file;
         code
       with Sys_error e ->
         Format.eprintf "trace: cannot write %s: %s@." file e;
         1)
   in
-  if stats then begin
+  let code =
+    match o.stats_json with
+    | None -> code
+    | Some file -> (
+      try
+        Obs.Export.write_stats file;
+        code
+      with Sys_error e ->
+        Format.eprintf "stats-json: cannot write %s: %s@." file e;
+        1)
+  in
+  if o.stats then begin
     Format.printf "@.counters:@.%a" Obs.Counters.pp_table ();
     Format.printf "@.pass timings:@.%a" Obs.Span.pp_report ()
   end;
@@ -154,9 +200,9 @@ let schedule_cmd =
   let tree_flag =
     Arg.(value & flag & info [ "tree" ] ~doc:"Also print the influence constraint tree.")
   in
-  let run name version tree verbose stats trace =
+  let run name version tree verbose o =
     setup_logs verbose;
-    with_obs stats trace @@ fun () ->
+    with_obs o @@ fun () ->
     with_op
       (fun k ->
         (if tree && version <> Isl then
@@ -177,11 +223,11 @@ let schedule_cmd =
       name
   in
   Cmd.v (Cmd.info "schedule" ~doc:"Schedule an operator and check legality")
-    Term.(const run $ op_arg $ version_arg $ tree_flag $ verbose_arg $ stats_arg $ trace_arg)
+    Term.(const run $ op_arg $ version_arg $ tree_flag $ verbose_arg $ obs_term)
 
 let codegen_cmd =
-  let run name version stats trace =
-    with_obs stats trace @@ fun () ->
+  let run name version o =
+    with_obs o @@ fun () ->
     with_op
       (fun k ->
         let _, _, c = compile version k in
@@ -189,11 +235,11 @@ let codegen_cmd =
       name
   in
   Cmd.v (Cmd.info "codegen" ~doc:"Print generated CUDA-like code")
-    Term.(const run $ op_arg $ version_arg $ stats_arg $ trace_arg)
+    Term.(const run $ op_arg $ version_arg $ obs_term)
 
 let simulate_cmd =
-  let run name version stats trace =
-    with_obs stats trace @@ fun () ->
+  let run name version o =
+    with_obs o @@ fun () ->
     with_op
       (fun k ->
         let _, _, c = compile version k in
@@ -202,11 +248,11 @@ let simulate_cmd =
       name
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Run the GPU performance model")
-    Term.(const run $ op_arg $ version_arg $ stats_arg $ trace_arg)
+    Term.(const run $ op_arg $ version_arg $ obs_term)
 
 let eval_cmd =
-  let run name stats trace =
-    with_obs stats trace @@ fun () ->
+  let run name o =
+    with_obs o @@ fun () ->
     with_op
       (fun k ->
         let r = Harness.Eval.evaluate_op ~name k in
@@ -215,15 +261,15 @@ let eval_cmd =
           r.Harness.Eval.isl_us r.tvm_us r.novec_us r.infl_us r.influenced r.vec;
         Format.printf "speedups over isl: tvm %.2f  novec %.2f  infl %.2f@."
           (r.isl_us /. r.tvm_us) (r.isl_us /. r.novec_us) (r.isl_us /. r.infl_us);
-        if stats then Harness.Tables.stats_table Format.std_formatter [ r ])
+        if o.stats then Harness.Tables.stats_table Format.std_formatter [ r ])
       name
   in
   Cmd.v (Cmd.info "eval" ~doc:"Compare the four compiler versions on one operator")
-    Term.(const run $ op_arg $ stats_arg $ trace_arg)
+    Term.(const run $ op_arg $ obs_term)
 
 let check_cmd =
-  let run name stats trace =
-    with_obs stats trace @@ fun () ->
+  let run name o =
+    with_obs o @@ fun () ->
     with_op
       (fun k ->
         List.iter
@@ -242,11 +288,11 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Interpret original vs compiled code and compare results bit-for-bit")
-    Term.(const run $ op_arg $ stats_arg $ trace_arg)
+    Term.(const run $ op_arg $ obs_term)
 
 let tune_cmd =
-  let run name version stats trace =
-    with_obs stats trace @@ fun () ->
+  let run name version o =
+    with_obs o @@ fun () ->
     with_op
       (fun k ->
         let sched, _, _ = compile version k in
@@ -265,14 +311,14 @@ let tune_cmd =
       name
   in
   Cmd.v (Cmd.info "tune" ~doc:"Auto-tune tile sizes on the GPU model")
-    Term.(const run $ op_arg $ version_arg $ stats_arg $ trace_arg)
+    Term.(const run $ op_arg $ version_arg $ obs_term)
 
 let network_cmd =
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NETWORK" ~doc:"Network name")
   in
-  let run name stats trace =
-    with_obs stats trace @@ fun () ->
+  let run name o =
+    with_obs o @@ fun () ->
     match network_of_name name with
     | None ->
       Format.eprintf "unknown network %s@." name;
@@ -285,14 +331,156 @@ let network_cmd =
       in
       Harness.Tables.table2_header Format.std_formatter;
       Harness.Tables.table2_row Format.std_formatter n.Ops.Networks.name results;
-      if stats then begin
+      if o.stats then begin
         Format.printf "@.per-operator scheduling statistics:@.";
         Harness.Tables.stats_table Format.std_formatter results
       end;
       0
   in
   Cmd.v (Cmd.info "network" ~doc:"Evaluate one network suite (a Table II row)")
-    Term.(const run $ name_arg $ stats_arg $ trace_arg)
+    Term.(const run $ name_arg $ obs_term)
+
+(* ------------------------------------------------------------------ *)
+(* trace analytics: report / diff                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A file on the analytics side is either a raw trace or an already
+   folded fingerprint; both diff the same way.  The trace (when that is
+   what was given) is kept for the timing side. *)
+let load_for_diff path =
+  let read () =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match read () with
+  | exception Sys_error e -> Error e
+  | contents -> (
+    match Obs.Json.of_string contents with
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    | Ok j -> (
+      match Obs.Json.member "schema" j with
+      | Some (Obs.Json.String s) when s = Obs.Summary.schema_name -> (
+        match Obs.Summary.of_json j with
+        | Ok fp -> Ok (fp, None)
+        | Error e -> Error (Printf.sprintf "%s: %s" path e))
+      | _ -> (
+        match Obs.Tracefile.of_json j with
+        | Ok tf -> Ok (Obs.Summary.of_trace tf, Some tf)
+        | Error e -> Error (Printf.sprintf "%s: %s" path e))))
+
+let trace_pos_arg ~p ~docv ~doc =
+  Arg.(required & pos p (some string) None & info [] ~docv ~doc)
+
+let report_cmd =
+  let chrome_arg =
+    let doc = "Also convert the trace to Chrome trace-event JSON at $(docv)." in
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"OUT.json" ~doc)
+  in
+  let fingerprint_arg =
+    let doc =
+      "Also write the trace's structural fingerprint (schema akg-repro-fingerprint) to \
+       $(docv) — the format committed under test/golden/ and consumed by $(b,diff)."
+    in
+    Arg.(value & opt (some string) None & info [ "fingerprint" ] ~docv:"OUT.json" ~doc)
+  in
+  let run file chrome fingerprint =
+    match Obs.Tracefile.load file with
+    | Error e ->
+      Format.eprintf "report: %s@." e;
+      2
+    | Ok tf -> (
+      Obs.Summary.report Format.std_formatter tf;
+      let write what out f =
+        try
+          f ();
+          Format.eprintf "%s written to %s@." what out;
+          0
+        with Sys_error e ->
+          Format.eprintf "report: cannot write %s: %s@." out e;
+          2
+      in
+      let c1 =
+        match chrome with
+        | None -> 0
+        | Some out -> write "chrome trace" out (fun () -> Obs.Chrome.write_file out tf)
+      in
+      let c2 =
+        match fingerprint with
+        | None -> 0
+        | Some out ->
+          write "fingerprint" out (fun () ->
+              Obs.Summary.write_file out (Obs.Summary.of_trace tf))
+      in
+      max c1 c2)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Drill into a recorded trace: event-kind histogram, per-scheduler-run and \
+          per-operator tables, vectorization outcomes")
+    Term.(
+      const run
+      $ trace_pos_arg ~p:0 ~docv:"TRACE" ~doc:"Trace file recorded with --trace"
+      $ chrome_arg $ fingerprint_arg)
+
+let diff_cmd =
+  let run old_file new_file =
+    match (load_for_diff old_file, load_for_diff new_file) with
+    | Error e, _ | _, Error e ->
+      Format.eprintf "diff: %s@." e;
+      2
+    | Ok (fp_old, tf_old), Ok (fp_new, tf_new) -> (
+      let changes = Obs.Summary.diff fp_old fp_new in
+      (* timing-only drift is reported but never fails the diff *)
+      (match (tf_old, tf_new) with
+       | Some a, Some b ->
+         let ta = Obs.Tracefile.timing_totals a and tb = Obs.Tracefile.timing_totals b in
+         let keys = List.sort_uniq compare (List.map fst ta @ List.map fst tb) in
+         let moved =
+           List.filter_map
+             (fun k ->
+               let get l = Option.value ~default:0.0 (List.assoc_opt k l) in
+               let va = get ta and vb = get tb in
+               if Float.abs (va -. vb) > 1e-9 then Some (k, va, vb) else None)
+             keys
+         in
+         if moved <> [] then begin
+           Format.printf "timing-only changes (ignored by the gate):@.";
+           List.iter
+             (fun (k, va, vb) -> Format.printf "  %s: %.1f -> %.1f@." k va vb)
+             moved
+         end
+       | _ -> ());
+      match changes with
+      | [] ->
+        Format.printf "structurally identical@.";
+        0
+      | changes ->
+        Format.printf "structural changes (%d):@.%a" (List.length changes)
+          Obs.Summary.pp_changes changes;
+        1)
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Structurally compare two traces (or committed fingerprints), ignoring timing \
+          fields; exit 0 = identical, 1 = structural change, 2 = error"
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Either argument may be a raw trace recorded with $(b,--trace) or a \
+              fingerprint written by $(b,report --fingerprint) (e.g. the goldens under \
+              test/golden/).  Timing fields (dur_us, time_us, *_ms and timestamps) are \
+              stripped before comparison and reported separately, so a pure \
+              performance change exits 0 and a scheduling change (extra backtracks, \
+              lost vectorization, different ILP solve counts) exits 1."
+         ])
+    Term.(
+      const run
+      $ trace_pos_arg ~p:0 ~docv:"OLD" ~doc:"Old trace or fingerprint file"
+      $ trace_pos_arg ~p:1 ~docv:"NEW" ~doc:"New trace or fingerprint file")
 
 let () =
   let doc = "Polyhedral scheduling with constraint injection (CGO'22 reproduction)" in
@@ -301,4 +489,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ list_cmd; show_cmd; schedule_cmd; codegen_cmd; simulate_cmd; eval_cmd;
-            check_cmd; tune_cmd; network_cmd ]))
+            check_cmd; tune_cmd; network_cmd; report_cmd; diff_cmd ]))

@@ -1,0 +1,104 @@
+(* Chrome trace-event ("Perfetto") export.
+
+   The output is the JSON-array flavour of the trace-event format, which
+   ui.perfetto.dev and chrome://tracing both open directly:
+   - paired begin/end events (ph "B"/"E") for the spans the trace records
+     as start/finish event pairs (scheduler.start/scheduler.done,
+     harness.op_start/harness.op);
+   - complete events (ph "X") for events carrying their own [dur_us]
+     (per-dimension ILP solves, codegen passes);
+   - instant events (ph "i") for everything else (commits, sibling
+     moves, simulator reports, ...).
+   Everything runs on one thread, so pid/tid are constant 1; [ts] is the
+   event's [ts_us] offset from the trace epoch. *)
+
+let pid = 1
+let tid = 1
+
+(* begin-kind -> (end-kind, display name, correlation field) *)
+let pairs =
+  [ ("scheduler.start", ("scheduler.done", "scheduler.schedule", "kernel"));
+    ("harness.op_start", ("harness.op", "harness.op", "op"))
+  ]
+
+let category kind =
+  match String.index_opt kind '.' with
+  | Some i -> String.sub kind 0 i
+  | None -> kind
+
+let ts_of (e : Tracefile.event) =
+  match e.Tracefile.ts_us with Some t -> t | None -> float_of_int e.Tracefile.seq
+
+let base name cat ph ts =
+  [ ("name", Json.String name);
+    ("cat", Json.String cat);
+    ("ph", Json.String ph);
+    ("ts", Json.Float ts);
+    ("pid", Json.Int pid);
+    ("tid", Json.Int tid)
+  ]
+
+let args fields = [ ("args", Json.Assoc fields) ]
+
+let of_events events =
+  let end_kinds = List.map (fun (_, (e, _, _)) -> e) pairs in
+  let name_of (e : Tracefile.event) =
+    (* a codegen.pass slice is better labelled by its pass *)
+    match (e.Tracefile.kind, List.assoc_opt "pass" e.Tracefile.fields) with
+    | "codegen.pass", Some (Json.String p) -> "codegen." ^ p
+    | kind, _ -> kind
+  in
+  let convert (e : Tracefile.event) =
+    let kind = e.Tracefile.kind in
+    let cat = category kind in
+    let ts = ts_of e in
+    match List.assoc_opt kind pairs with
+    | Some (_, name, _) -> Json.Assoc (base name cat "B" ts @ args e.Tracefile.fields)
+    | None ->
+      if List.mem kind end_kinds then
+        let name =
+          match List.find_opt (fun (_, (ek, _, _)) -> ek = kind) pairs with
+          | Some (_, (_, n, _)) -> n
+          | None -> kind
+        in
+        Json.Assoc (base name cat "E" ts @ args e.Tracefile.fields)
+      else (
+        let dur =
+          match List.assoc_opt "dur_us" e.Tracefile.fields with
+          | Some (Json.Float d) -> Some d
+          | Some (Json.Int i) -> Some (float_of_int i)
+          | _ -> None
+        in
+        match dur with
+        | Some d ->
+          (* the emitter stamps ts at the end of the timed region *)
+          Json.Assoc
+            (base (name_of e) cat "X" (Float.max 0.0 (ts -. d))
+            @ [ ("dur", Json.Float d) ]
+            @ args e.Tracefile.fields)
+        | None ->
+          Json.Assoc
+            (base (name_of e) cat "i" ts
+            @ [ ("s", Json.String "t") ]
+            @ args e.Tracefile.fields))
+  in
+  Json.List (List.map convert events)
+
+let of_tracefile (tf : Tracefile.t) = of_events tf.Tracefile.events
+
+let write_file path tf =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      match of_tracefile tf with
+      | Json.List evs ->
+        (* one trace event per line, like Trace.write_file *)
+        output_string oc "[\n";
+        List.iteri
+          (fun i e ->
+            if i > 0 then output_string oc ",\n";
+            output_string oc (Json.to_string e))
+          evs;
+        output_string oc "\n]\n"
+      | j -> output_string oc (Json.to_string j))

@@ -1,0 +1,41 @@
+let schema_name = "akg-repro-stats"
+let version = 1
+
+let counters_json ?base () =
+  let current = Counters.snapshot () in
+  let entries =
+    match base with
+    | None -> List.filter (fun (_, v) -> v <> 0) current
+    | Some before ->
+      List.filter_map
+        (fun (name, v) ->
+          let v0 = Option.value ~default:0 (List.assoc_opt name before) in
+          if v - v0 <> 0 then Some (name, v - v0) else None)
+        current
+  in
+  Json.Assoc (List.map (fun (n, v) -> (n, Json.Int v)) entries)
+
+let spans_json () =
+  Json.Assoc
+    (List.map
+       (fun (path, calls, total_s) ->
+         ( path,
+           Json.Assoc
+             [ ("calls", Json.Int calls); ("total_ms", Json.Float (total_s *. 1e3)) ] ))
+       (Span.report ()))
+
+let stats_json () =
+  Json.Assoc
+    [ ("schema", Json.String schema_name);
+      ("version", Json.Int version);
+      ("counters", counters_json ());
+      ("spans", spans_json ())
+    ]
+
+let write_stats path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (stats_json ()));
+      output_char oc '\n')

@@ -1,0 +1,23 @@
+(** Machine-readable exports of the always-on observability state
+    (counters and spans) — the serialization path shared by the CLI's
+    [--stats-json] flag and the bench driver's [BENCH_*.json] files. *)
+
+val schema_name : string
+(** ["akg-repro-stats"]. *)
+
+val version : int
+
+val counters_json : ?base:(string * int) list -> unit -> Json.t
+(** Nonzero counters as a flat object.  With [~base] (an earlier
+    {!Counters.snapshot}), nonzero {e deltas} against it instead —
+    how a measured region moved the counters. *)
+
+val spans_json : unit -> Json.t
+(** The span report as [{path: {"calls": n, "total_ms": t}}]. *)
+
+val stats_json : unit -> Json.t
+(** [{"schema": "akg-repro-stats", "version": 1, "counters": ...,
+    "spans": ...}]. *)
+
+val write_stats : string -> unit
+(** Writes {!stats_json} to a file. *)

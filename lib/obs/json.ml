@@ -181,19 +181,40 @@ let parse_string st =
   go ();
   Buffer.contents buf
 
+(* RFC 8259 number grammar, and nothing more:
+     number = [ "-" ] ( "0" / digit1-9 *DIGIT ) [ "." 1*DIGIT ]
+              [ ( "e" / "E" ) [ "-" / "+" ] 1*DIGIT ]
+   No leading "+", no leading zeros, no bare "1." or "5e". *)
 let parse_number st =
   let start = st.pos in
-  let is_float = ref false in
-  let rec go () =
+  let digits1 () =
     match peek st with
-    | Some ('0' .. '9' | '-' | '+') -> advance st; go ()
-    | Some ('.' | 'e' | 'E') ->
-      is_float := true;
+    | Some '0' .. '9' ->
       advance st;
+      let rec go () =
+        match peek st with Some '0' .. '9' -> advance st; go () | _ -> ()
+      in
       go ()
-    | _ -> ()
+    | _ -> fail st "bad number"
   in
-  go ();
+  if peek st = Some '-' then advance st;
+  (match peek st with
+   | Some '0' -> advance st
+   | Some '1' .. '9' -> digits1 ()
+   | _ -> fail st "bad number");
+  let is_float = ref false in
+  if peek st = Some '.' then begin
+    is_float := true;
+    advance st;
+    digits1 ()
+  end;
+  (match peek st with
+   | Some ('e' | 'E') ->
+     is_float := true;
+     advance st;
+     (match peek st with Some ('-' | '+') -> advance st | _ -> ());
+     digits1 ()
+   | _ -> ());
   let s = String.sub st.src start (st.pos - start) in
   if !is_float then
     match float_of_string_opt s with
@@ -203,6 +224,7 @@ let parse_number st =
     match int_of_string_opt s with
     | Some i -> Int i
     | None -> (
+      (* an integer literal past native precision still parses, as Float *)
       match float_of_string_opt s with
       | Some f -> Float f
       | None -> fail st "bad number")

@@ -25,8 +25,11 @@ val pp : Format.formatter -> t -> unit
 val of_string : string -> (t, string) result
 (** Parser for the values {!to_string} produces (and ordinary JSON):
     numbers without a fractional part or exponent parse as [Int],
-    everything else as [Float].  The error string carries a character
-    offset. *)
+    everything else as [Float].  Numbers follow the RFC 8259 grammar
+    exactly — a leading [+], leading zeros, a trailing [.] or a bare
+    exponent are rejected.  Integer literals beyond native [int]
+    precision fall back to [Float].  The error string carries a
+    character offset. *)
 
 val equal : t -> t -> bool
 (** Structural equality; [Assoc] fields compare in order, floats by

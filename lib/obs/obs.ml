@@ -2,6 +2,10 @@ module Json = Json
 module Counters = Counters
 module Span = Span
 module Trace = Trace
+module Tracefile = Tracefile
+module Summary = Summary
+module Chrome = Chrome
+module Export = Export
 
 let reset_all () =
   Counters.reset_all ();

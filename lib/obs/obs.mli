@@ -11,12 +11,23 @@
 
     Counters and spans are always on (an increment or a clock read);
     tracing is opt-in via {!Trace.enable} — the CLI's [--trace FILE.json]
-    and [--stats] flags are thin wrappers over this module. *)
+    and [--stats] flags are thin wrappers over this module.
+
+    On top of the emitting side sits the analytics side: {!Tracefile}
+    reads a written trace back and normalizes away wall-clock noise,
+    {!Summary} folds it into a structural fingerprint with a diff (the
+    CLI's [report] / [diff] subcommands and the [test/golden] CI gate),
+    {!Chrome} exports the trace for [ui.perfetto.dev], and {!Export}
+    serializes counters and spans for [--stats-json]. *)
 
 module Json = Json
 module Counters = Counters
 module Span = Span
 module Trace = Trace
+module Tracefile = Tracefile
+module Summary = Summary
+module Chrome = Chrome
+module Export = Export
 
 val reset_all : unit -> unit
 (** Zeroes every counter, clears the span report and drops the recorded

@@ -1,24 +1,42 @@
 type event = {
   seq : int;
+  ts_us : float;
   kind : string;
   fields : (string * Json.t) list;
 }
+
+(* Trace format identity.  [header] is the single source of truth for the
+   envelope: both {!to_json} and {!write_file} derive from it, so the
+   schema tag and version cannot drift between the two serializers.
+   Version history: 1 = seq/kind/fields; 2 = adds the [ts_us] wall-clock
+   offset to every event (microseconds since the trace epoch). *)
+let schema_name = "akg-repro-trace"
+let version = 2
+let header () = [ ("schema", Json.String schema_name); ("version", Json.Int version) ]
 
 let on = ref false
 let rev_events : event list ref = ref []
 let count = ref 0
 
-let enable () = on := true
+(* wall-clock origin of [ts_us]; rearmed when the trace restarts *)
+let epoch = ref (Unix.gettimeofday ())
+
+let enable () =
+  if !count = 0 then epoch := Unix.gettimeofday ();
+  on := true
+
 let disable () = on := false
 let enabled () = !on
 
 let clear () =
   rev_events := [];
-  count := 0
+  count := 0;
+  epoch := Unix.gettimeofday ()
 
 let emit kind fields =
   if !on then begin
-    rev_events := { seq = !count; kind; fields } :: !rev_events;
+    let ts_us = (Unix.gettimeofday () -. !epoch) *. 1e6 in
+    rev_events := { seq = !count; ts_us; kind; fields } :: !rev_events;
     incr count
   end
 
@@ -29,22 +47,24 @@ let events () = List.rev !rev_events
 let length () = !count
 
 let event_to_json e =
-  Json.Assoc (("seq", Json.Int e.seq) :: ("kind", Json.String e.kind) :: e.fields)
-
-let to_json () =
   Json.Assoc
-    [ ("schema", Json.String "akg-repro-trace");
-      ("version", Json.Int 1);
-      ("events", Json.List (List.map event_to_json (events ())))
-    ]
+    (("seq", Json.Int e.seq)
+    :: ("ts_us", Json.Float e.ts_us)
+    :: ("kind", Json.String e.kind)
+    :: e.fields)
+
+let to_json () = Json.Assoc (header () @ [ ("events", Json.List (List.map event_to_json (events ()))) ])
 
 let write_file path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      (* one event per line so the file greps and diffs well *)
-      output_string oc "{\"schema\":\"akg-repro-trace\",\"version\":1,\"events\":[\n";
+      (* envelope without its closing brace, then one event per line so
+         the file greps and diffs well *)
+      let h = Json.to_string (Json.Assoc (header ())) in
+      output_string oc (String.sub h 0 (String.length h - 1));
+      output_string oc ",\"events\":[\n";
       List.iteri
         (fun i e ->
           if i > 0 then output_string oc ",\n";

@@ -8,21 +8,33 @@
 
     Event kinds are dotted paths grouped by layer ([scheduler.solve],
     [vectorizer.rank], [codegen.pass], [gpusim.sim], [harness.version],
-    ...); the full schema is documented in [EXPERIMENTS.md]. *)
+    ...); the full schema is documented in [EXPERIMENTS.md].  Written
+    traces are read back by {!Tracefile} and folded into structural
+    fingerprints by {!Summary}. *)
 
 type event = {
   seq : int;  (** 0-based position in the trace *)
+  ts_us : float;
+      (** wall-clock microseconds since the trace epoch (the moment the
+          trace was enabled or last cleared); a timing field, stripped by
+          {!Tracefile.normalize} *)
   kind : string;
   fields : (string * Json.t) list;
 }
+
+val schema_name : string
+(** ["akg-repro-trace"], the envelope's schema tag. *)
+
+val version : int
+(** Current trace format version (2).  Version 1 lacked [ts_us]. *)
 
 val enable : unit -> unit
 val disable : unit -> unit
 val enabled : unit -> bool
 
 val clear : unit -> unit
-(** Drops all recorded events and resets the sequence number (does not
-    change whether tracing is enabled). *)
+(** Drops all recorded events, resets the sequence number and rearms the
+    [ts_us] epoch (does not change whether tracing is enabled). *)
 
 val emit : string -> (string * Json.t) list -> unit
 (** [emit kind fields] appends an event; a no-op when tracing is off. *)
@@ -37,12 +49,14 @@ val events : unit -> event list
 val length : unit -> int
 
 val event_to_json : event -> Json.t
-(** [{"seq": ..., "kind": ..., <fields>}]; an event field named [seq] or
-    [kind] would be shadowed by the envelope, so emitters avoid those. *)
+(** [{"seq": ..., "ts_us": ..., "kind": ..., <fields>}]; an event field
+    named [seq], [ts_us] or [kind] would be shadowed by the envelope, so
+    emitters avoid those. *)
 
 val to_json : unit -> Json.t
-(** The whole trace: [{"schema": "akg-repro-trace", "version": 1,
-    "events": [...]}]. *)
+(** The whole trace: [{"schema": "akg-repro-trace", "version": 2,
+    "events": [...]}].  The envelope is derived from the same constants
+    as {!write_file}'s. *)
 
 val write_file : string -> unit
 (** Writes {!to_json} to a file, one event per line for greppability. *)

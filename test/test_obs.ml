@@ -128,6 +128,83 @@ let test_json_parse_errors () =
       | Error _ -> ())
     bad
 
+let test_json_number_grammar () =
+  (* strict RFC 8259 numbers: each of these deviates from the grammar in
+     exactly one way and must be rejected *)
+  List.iter
+    (fun s ->
+      match Obs.Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted non-RFC-8259 number %S" s
+      | Error _ -> ())
+    [ "+5" (* leading plus *); "01" (* leading zero *); "1." (* no fraction digit *);
+      "5e" (* no exponent digit *); "1e+" (* sign without digit *);
+      ".5" (* no integer part *); "1-2" (* interior minus *); "-" (* sign alone *);
+      "--1"; "1.2.3"; "0x10" (* hex *); "1_000" (* separators *) ];
+  List.iter
+    (fun (s, expected) ->
+      match Obs.Json.of_string s with
+      | Ok j ->
+        Alcotest.(check bool) (s ^ " parses to expected value") true
+          (Obs.Json.equal j expected)
+      | Error e -> Alcotest.failf "rejected valid number %S: %s" s e)
+    [ ("0", Obs.Json.Int 0); ("-0", Obs.Json.Int 0); ("10", Obs.Json.Int 10);
+      ("-42", Obs.Json.Int (-42)); ("0.5", Obs.Json.Float 0.5);
+      ("1e5", Obs.Json.Float 1e5); ("1E+5", Obs.Json.Float 1e5);
+      ("123e-7", Obs.Json.Float 123e-7); ("-3.25", Obs.Json.Float (-3.25));
+      (string_of_int max_int, Obs.Json.Int max_int);
+      (string_of_int min_int, Obs.Json.Int min_int) ]
+
+let test_json_unicode_escapes () =
+  let parses_to s expected =
+    match Obs.Json.of_string s with
+    | Ok (Obs.Json.String got) -> Alcotest.(check string) s expected got
+    | Ok j -> Alcotest.failf "%S parsed to non-string %s" s (Obs.Json.to_string j)
+    | Error e -> Alcotest.failf "%S rejected: %s" s e
+  in
+  parses_to "\"\\u0041\"" "A";
+  parses_to "\"\\u00e9\"" "\xc3\xa9" (* é, 2-byte UTF-8 *);
+  parses_to "\"\\u20ac\"" "\xe2\x82\xac" (* €, 3-byte UTF-8 *);
+  (* surrogate pair: U+1F600, 4-byte UTF-8 *)
+  parses_to "\"\\ud83d\\ude00\"" "\xf0\x9f\x98\x80";
+  (* a high surrogate must be followed by a low one *)
+  match Obs.Json.of_string "\"\\ud83d\"" with
+  | Ok _ -> Alcotest.fail "accepted unpaired high surrogate"
+  | Error _ -> ()
+
+(* Printer->parser fuzz round trip over arbitrary nested values.  Floats
+   are kept finite (non-finite serializes as null by design) and keys
+   printable; strings are arbitrary bytes. *)
+let json_gen =
+  let open QCheck2.Gen in
+  let finite_float = map (fun f -> if Float.is_finite f then f else 0.) float in
+  sized
+  @@ fix (fun self n ->
+         let leaf =
+           oneof
+             [ return Obs.Json.Null; map (fun b -> Obs.Json.Bool b) bool;
+               map (fun i -> Obs.Json.Int i) int;
+               map (fun f -> Obs.Json.Float f) finite_float;
+               map (fun s -> Obs.Json.String s) string
+             ]
+         in
+         if n = 0 then leaf
+         else
+           oneof
+             [ leaf;
+               map (fun l -> Obs.Json.List l) (list_size (int_bound 4) (self (n / 2)));
+               map
+                 (fun l -> Obs.Json.Assoc l)
+                 (list_size (int_bound 4)
+                    (pair (string_size ~gen:printable (int_bound 8)) (self (n / 2))))
+             ])
+
+let prop_json_roundtrip =
+  QCheck2.Test.make ~name:"of_string (to_string v) = Ok v" ~count:500
+    ~print:Obs.Json.to_string json_gen (fun v ->
+      match Obs.Json.of_string (Obs.Json.to_string v) with
+      | Ok v' -> Obs.Json.equal v v'
+      | Error _ -> false)
+
 (* ------------------------------------------------------------------ *)
 (* Trace                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -266,10 +343,12 @@ let () =
           Alcotest.test_case "exception safety" `Quick test_span_exception_safe
         ] );
       ( "json",
-        [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
-          Alcotest.test_case "non-finite floats" `Quick test_json_non_finite;
-          Alcotest.test_case "parse errors" `Quick test_json_parse_errors
-        ] );
+        Alcotest.test_case "roundtrip" `Quick test_json_roundtrip
+        :: Alcotest.test_case "non-finite floats" `Quick test_json_non_finite
+        :: Alcotest.test_case "parse errors" `Quick test_json_parse_errors
+        :: Alcotest.test_case "number grammar" `Quick test_json_number_grammar
+        :: Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escapes
+        :: List.map QCheck_alcotest.to_alcotest [ prop_json_roundtrip ] );
       ( "trace",
         [ Alcotest.test_case "disabled by default" `Quick test_trace_disabled_by_default;
           Alcotest.test_case "emission order" `Quick test_trace_emission_order;
