@@ -341,6 +341,100 @@ let network_cmd =
     Term.(const run $ name_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
+(* differential fuzzing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let seed_arg =
+    let doc =
+      "PRNG seed.  Cases are a pure function of (seed, index), so a failure at index \
+       $(i,i) of seed $(i,s) reproduces forever; replay files record both."
+    in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let count_arg =
+    let doc = "Number of random kernels to generate and differentially check." in
+    Arg.(value & opt int 100 & info [ "count" ] ~docv:"K" ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Re-run one recorded case from a replay file written by a previous fuzz run \
+       instead of generating new ones.  Exit 0 when the case now passes, 1 when the \
+       failure still reproduces."
+    in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc =
+      "Directory for replay files of shrunk failing cases (created on first failure)."
+    in
+    Arg.(value & opt string "fuzz-failures" & info [ "out" ] ~docv:"DIR" ~doc)
+  in
+  let max_stmts_arg =
+    let doc = "Fusion depth: longest generated statement chain." in
+    Arg.(value & opt int Fuzz.Generate.default_config.Fuzz.Generate.max_stmts
+         & info [ "max-stmts" ] ~docv:"S" ~doc)
+  in
+  let max_rank_arg =
+    let doc = "Maximum dimensionality of generated iteration spaces (1-3)." in
+    Arg.(value & opt int Fuzz.Generate.default_config.Fuzz.Generate.max_rank
+         & info [ "max-rank" ] ~docv:"R" ~doc)
+  in
+  let max_extent_arg =
+    let doc = "Largest generated loop extent." in
+    Arg.(value & opt int Fuzz.Generate.default_config.Fuzz.Generate.max_extent
+         & info [ "max-extent" ] ~docv:"E" ~doc)
+  in
+  let skew_arg =
+    let doc =
+      "Access-pattern skew in [0,1]: probability that a generated access deviates from \
+       the identity pattern (transpose, broadcast, shift, stride-2)."
+    in
+    Arg.(value & opt float Fuzz.Generate.default_config.Fuzz.Generate.skew
+         & info [ "skew" ] ~docv:"P" ~doc)
+  in
+  let run seed count replay out max_stmts max_rank max_extent skew o =
+    with_obs o @@ fun () ->
+    match replay with
+    | Some file -> (
+      match Fuzz.replay file with
+      | Error e ->
+        Format.eprintf "fuzz: %s@." e;
+        2
+      | Ok (case, Ok ()) ->
+        Format.printf "replay %s: PASS (%a)@." file Fuzz.Case.pp case;
+        0
+      | Ok (case, Error f) ->
+        Format.printf "replay %s: FAIL %a@.  %a@." file Fuzz.Check.pp_failure f
+          Fuzz.Case.pp case;
+        1)
+    | None ->
+      let config =
+        { Fuzz.Generate.max_stmts; max_rank; max_extent; skew }
+      in
+      let progress (r : Fuzz.failure_report) =
+        Format.printf "case %d: %a@.  shrunk in %d steps to %a%s@." r.Fuzz.index
+          Fuzz.Check.pp_failure r.Fuzz.failure r.Fuzz.shrink_steps Fuzz.Case.pp
+          r.Fuzz.shrunk
+          (match r.Fuzz.file with Some f -> "\n  replay file: " ^ f | None -> "")
+      in
+      let report = Fuzz.run ~config ~out_dir:out ~progress ~seed ~count () in
+      let nfail = List.length report.Fuzz.failures in
+      Format.printf "fuzz: %d cases, %d failures (seed %d)@." report.Fuzz.count nfail
+        report.Fuzz.seed;
+      if nfail = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differentially fuzz the pipeline: random fused kernels through isl, novec and \
+          infl, checking interpreter bit-equality, schedule legality and AST \
+          well-formedness; failures are shrunk to minimal replayable cases")
+    Term.(
+      const run $ seed_arg $ count_arg $ replay_arg $ out_arg $ max_stmts_arg
+      $ max_rank_arg $ max_extent_arg $ skew_arg $ obs_term)
+
+(* ------------------------------------------------------------------ *)
 (* trace analytics: report / diff                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -489,4 +583,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ list_cmd; show_cmd; schedule_cmd; codegen_cmd; simulate_cmd; eval_cmd;
-            check_cmd; tune_cmd; network_cmd; report_cmd; diff_cmd ]))
+            check_cmd; tune_cmd; network_cmd; fuzz_cmd; report_cmd; diff_cmd ]))

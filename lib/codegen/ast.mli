@@ -5,7 +5,15 @@
     mean max-of (lower) / min-of (upper), with ceiling/floor semantics for
     rational coefficients.  Statement instances appear as [Exec] nodes whose
     [iter_map] rebinds the statement's original iterators to expressions
-    over loop variables (the inverted schedule). *)
+    over loop variables (the inverted schedule).
+
+    When a schedule row is non-unimodular (e.g. [2*i]), the inverted
+    [iter_map] has rational coefficients and the statement's instances form
+    a proper sublattice of the enclosing loops: an instance exists only at
+    loop points where every [iter_map] entry evaluates to an integer.
+    Consumers must honour this — {!Interp.run_ast} skips off-lattice
+    points and {!Cuda.emit} synthesizes a [%]-divisibility guard with
+    exact integer division. *)
 
 open Polyhedra
 

@@ -1,0 +1,147 @@
+type version = Isl | Novec | Infl
+
+let versions = [ Isl; Novec; Infl ]
+let version_name = function Isl -> "isl" | Novec -> "novec" | Infl -> "infl"
+
+let version_of_name = function
+  | "isl" -> Some Isl
+  | "novec" -> Some Novec
+  | "infl" -> Some Infl
+  | _ -> None
+
+type stage = Convert | Schedule | Legality | Lower | Structure | Semantics
+
+let stage_name = function
+  | Convert -> "convert"
+  | Schedule -> "schedule"
+  | Legality -> "legality"
+  | Lower -> "lower"
+  | Structure -> "structure"
+  | Semantics -> "semantics"
+
+let stage_of_name = function
+  | "convert" -> Some Convert
+  | "schedule" -> Some Schedule
+  | "legality" -> Some Legality
+  | "lower" -> Some Lower
+  | "structure" -> Some Structure
+  | "semantics" -> Some Semantics
+  | _ -> None
+
+type failure = { version : version; stage : stage; message : string }
+
+let pp_failure ppf f =
+  Format.fprintf ppf "[%s/%s] %s" (version_name f.version) (stage_name f.stage) f.message
+
+(* ------------------------------------------------------------------ *)
+(* structural well-formedness of the emitted AST                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec contains_for = function
+  | Codegen.Ast.For _ -> true
+  | Codegen.Ast.Stmts l -> List.exists contains_for l
+  | Codegen.Ast.If (_, b) -> contains_for b
+  | Codegen.Ast.Exec _ | Codegen.Ast.VecExec _ -> false
+
+let well_formed (c : Codegen.Compile.compiled) =
+  let open Codegen in
+  let m = c.Compile.mapping in
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let block_mapped = List.map fst m.Mapping.block_dims in
+  let thread_mapped = List.map fst m.Mapping.thread_dims in
+  let rec go ~in_strip = function
+    | Ast.Stmts l -> List.iter (go ~in_strip) l
+    | Ast.If (_, b) -> go ~in_strip b
+    | Ast.Exec _ -> ()
+    | Ast.VecExec (e, w) ->
+      if w <> 2 && w <> 4 then err "VecExec(%s) width %d not in {2,4}" e.Ast.stmt w;
+      if not in_strip then err "VecExec(%s) outside a vector strip" e.Ast.stmt
+    | Ast.For l ->
+      (match l.Ast.mark with
+       | Ast.Vectorized (w, _) ->
+         if w <> 2 && w <> 4 then err "vector width %d of %s not in {2,4}" w l.Ast.var;
+         if l.Ast.step <> w then
+           err "vectorized loop %s: step %d differs from width %d" l.Ast.var l.Ast.step w;
+         if List.mem l.Ast.dim block_mapped then
+           err "vectorized dim %d (%s) is also block-mapped" l.Ast.dim l.Ast.var;
+         if List.mem l.Ast.dim thread_mapped then
+           err "vectorized dim %d (%s) is also thread-mapped" l.Ast.dim l.Ast.var;
+         if contains_for l.Ast.body then
+           err "loop nest under vectorized loop %s" l.Ast.var
+       | Ast.Block a -> if a < 0 || a > 2 then err "block axis %d outside x/y/z" a
+       | Ast.Thread a -> if a < 0 || a > 2 then err "thread axis %d outside x/y/z" a
+       | Ast.BlockThread (a, b) ->
+         if a < 0 || a > 2 || b < 0 || b > 2 then err "strip axes (%d,%d) outside x/y/z" a b
+       | Ast.Seq_mark | Ast.Parallel -> ());
+      go ~in_strip:(in_strip || l.Ast.step > 1) l.Ast.body
+  in
+  go ~in_strip:false c.Compile.ast;
+  if Mapping.block_threads m > 1024 then
+    err "thread-extent product %d exceeds the 1024 budget" (Mapping.block_threads m);
+  match List.rev !errs with
+  | [] -> Ok ()
+  | es -> Error (String.concat "; " es)
+
+(* ------------------------------------------------------------------ *)
+(* the differential driver                                              *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let guard version stage f =
+  try f ()
+  with e -> Error { version; stage; message = Printexc.to_string e }
+
+let check_version ?(perturb = fun _ s -> s) k deps version =
+  let* sched =
+    guard version Schedule (fun () ->
+        let s =
+          match version with
+          | Isl -> fst (Scheduling.Scheduler.schedule k)
+          | Novec | Infl ->
+            let tree = Vectorizer.Treegen.influence_for k in
+            fst (Scheduling.Scheduler.schedule ~influence:tree k)
+        in
+        Ok (perturb version s))
+  in
+  let* () =
+    guard version Legality (fun () ->
+        match Scheduling.Legality.check sched k deps with
+        | Ok () -> Ok ()
+        | Error m -> Error { version; stage = Legality; message = m })
+  in
+  let* c =
+    guard version Lower (fun () ->
+        Ok (Codegen.Compile.lower ~vectorize:(version = Infl) sched k))
+  in
+  let* () =
+    match well_formed c with
+    | Ok () -> Ok ()
+    | Error m -> Error { version; stage = Structure; message = m }
+  in
+  guard version Semantics (fun () ->
+      let m1 = Interp.randomize k in
+      let m2 = Interp.copy m1 in
+      Interp.run_original k m1;
+      Interp.run_ast k c.Codegen.Compile.ast m2;
+      if Interp.equal m1 m2 then Ok ()
+      else
+        Error
+          { version;
+            stage = Semantics;
+            message =
+              Printf.sprintf "bit-for-bit mismatch (max abs diff %g)"
+                (Interp.max_abs_diff m1 m2)
+          })
+
+let run ?perturb k =
+  let* deps = guard Isl Schedule (fun () -> Ok (Deps.Analysis.dependences k)) in
+  List.fold_left
+    (fun acc v -> match acc with Error _ -> acc | Ok () -> check_version ?perturb k deps v)
+    (Ok ()) versions
+
+let run_case ?perturb case =
+  match Case.to_kernel case with
+  | Error m -> Error { version = Isl; stage = Convert; message = m }
+  | Ok k -> run ?perturb k

@@ -1,0 +1,49 @@
+(** The differential oracle: one kernel through the full pipeline, three
+    compiler versions, three independent checks.
+
+    For each of {b isl} (baseline schedule, no vectorization),
+    {b novec} (influenced schedule, no explicit vector types) and
+    {b infl} (influenced + vectorpass), the driver runs scheduling,
+    legality validation, lowering, a structural well-formedness pass over
+    the emitted AST, and a bit-for-bit comparison of
+    {!Interp.run_original} against {!Interp.run_ast}.  The first failing
+    stage is reported; exceptions anywhere in the pipeline are caught and
+    attributed to the stage that raised. *)
+
+type version = Isl | Novec | Infl
+
+val versions : version list
+val version_name : version -> string
+val version_of_name : string -> version option
+
+type stage = Convert | Schedule | Legality | Lower | Structure | Semantics
+
+val stage_name : stage -> string
+val stage_of_name : string -> stage option
+
+type failure = { version : version; stage : stage; message : string }
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val well_formed : Codegen.Compile.compiled -> (unit, string) result
+(** Structural invariants of the emitted CUDA AST: explicit vector widths
+    are 2 or 4 and equal the strip step, [VecExec] only occurs under a
+    vector strip, no loop nests under a vectorized loop, mapping axes
+    are within [x]/[y]/[z], the thread-extent product respects the
+    1024-thread budget, and no vectorized dimension is also block- or
+    thread-mapped. *)
+
+val run :
+  ?perturb:(version -> Scheduling.Schedule.t -> Scheduling.Schedule.t) ->
+  Ir.Kernel.t ->
+  (unit, failure) result
+(** Pushes the kernel through all three versions; [perturb] rewrites each
+    computed schedule before validation and lowering (the hook tests use
+    to inject a deliberately-broken scheduler). *)
+
+val run_case :
+  ?perturb:(version -> Scheduling.Schedule.t -> Scheduling.Schedule.t) ->
+  Case.t ->
+  (unit, failure) result
+(** {!Case.to_kernel} followed by {!run}; conversion errors surface as a
+    [Convert]-stage failure. *)

@@ -10,7 +10,10 @@ val alloc : Ir.Kernel.t -> memory
 (** Zero-initialized buffers for every tensor. *)
 
 val randomize : ?seed:int -> Ir.Kernel.t -> memory
-(** Deterministic pseudo-random contents (inputs and outputs alike). *)
+(** Deterministic pseudo-random contents (inputs and outputs alike).
+    Every seventh slot draws from an edge-case pool — signed zeros and
+    subnormals — so bit-for-bit differential runs also cover floats where
+    rounding or sign-of-zero behaviour could diverge. *)
 
 val copy : memory -> memory
 

@@ -200,6 +200,55 @@ let test_cuda_printer () =
   contains "fig2_running_example"
 
 (* ------------------------------------------------------------------ *)
+(* Golden CUDA snapshots                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Full emitted kernels for two Fig. 2-style fused operators, diffed
+   textually against committed snapshots so any drift in scheduling,
+   vectorization, mapping or printing shows up as a reviewable diff.
+   Regenerate with
+     AKG_UPDATE_GOLDEN=test/golden dune exec test/test_codegen.exe *)
+
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_golden_cuda name ~vector_type k =
+  let sched = influenced k in
+  let c = Compile.lower ~vectorize:true sched k in
+  let cuda = Cuda.emit c in
+  let has s =
+    try ignore (Str.search_forward (Str.regexp_string s) cuda 0); true
+    with Not_found -> false
+  in
+  Alcotest.(check bool) (name ^ " uses " ^ vector_type) true (has vector_type);
+  match Sys.getenv_opt "AKG_UPDATE_GOLDEN" with
+  | Some dir ->
+    let file = Filename.concat dir (name ^ ".cu") in
+    let oc = open_out file in
+    output_string oc cuda;
+    close_out oc;
+    Printf.printf "wrote %s\n%!" file
+  | None -> (
+    let file = Filename.concat "golden" (name ^ ".cu") in
+    match read_file file with
+    | exception Sys_error e -> Alcotest.failf "cannot read golden %s: %s" file e
+    | expected ->
+      if String.trim expected <> String.trim cuda then
+        Alcotest.failf
+          "emitted CUDA for %s no longer matches %s:\n--- expected\n%s\n--- got\n%s"
+          name file expected cuda)
+
+let test_golden_fig2_float4 () =
+  check_golden_cuda "fig2_vec4" ~vector_type:"float4" (Ops.Classics.fig2 ~n:8 ())
+
+let test_golden_fused_float2 () =
+  check_golden_cuda "fused_mul_sub_mul_tensoradd_vec2" ~vector_type:"float2"
+    (Ops.Classics.fused_mul_sub_mul_tensoradd ~n:4 ~m:6 ())
+
+(* ------------------------------------------------------------------ *)
 (* Property: every (kernel, version) pair preserves semantics           *)
 (* ------------------------------------------------------------------ *)
 
@@ -279,6 +328,10 @@ let () =
           Alcotest.test_case "thread budget" `Quick test_mapping_thread_budget
         ] );
       ("cuda", [ Alcotest.test_case "printer" `Quick test_cuda_printer ]);
+      ( "golden-cuda",
+        [ Alcotest.test_case "fig2 float4" `Quick test_golden_fig2_float4;
+          Alcotest.test_case "fused float2" `Quick test_golden_fused_float2
+        ] );
       ( "semantics",
         Alcotest.test_case "classics all versions" `Slow test_all_classics_all_versions
         :: List.map QCheck_alcotest.to_alcotest [ prop_random_kernels_all_versions ] )

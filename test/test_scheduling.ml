@@ -374,6 +374,84 @@ let test_legality_oracle_rejects () =
   Alcotest.(check bool) "reversed reduction illegal" false
     (Legality.is_legal bad k (Deps.Analysis.dependences k))
 
+(* ------------------------------------------------------------------ *)
+(* negative legality: hand-built illegal schedules the oracle must
+   reject (the fuzzer's oracle is only trustworthy if it can say no)    *)
+(* ------------------------------------------------------------------ *)
+
+(* S1: T[i] = inp[i];  S2: out[j] = T[j + shift] — a flow dependence
+   S1(j + shift) -> S2(j) that a schedule must strongly satisfy. *)
+let producer_consumer ?(shift = 0) ~n () =
+  let open Ir in
+  Build.kernel "pc"
+    ~tensors:
+      [ Build.tensor "inp" [ n + shift ]; Build.tensor "T" [ n + shift ];
+        Build.tensor "out" [ n ]
+      ]
+    ~stmts:
+      [ Build.stmt "S1"
+          ~iters:[ ("i", n + shift) ]
+          ~write:(Build.access "T" [ "i" ])
+          ~rhs:(Expr.Load (Build.access "inp" [ "i" ]));
+        Build.stmt "S2"
+          ~iters:[ ("j", n) ]
+          ~write:(Build.access "out" [ "j" ])
+          ~rhs:(Expr.Load (Build.access_e "T" [ Build.idx_plus "j" shift ]))
+      ]
+
+let pc_schedule ~scalar1 ~scalar2 ~e1 ~e2 =
+  { Schedule.kernel_name = "pc";
+    stmt_names = [ "S1"; "S2" ];
+    rows =
+      [ { Schedule.kind = Schedule.Loop { coincident = false };
+          exprs = [ ("S1", e1); ("S2", e2) ] };
+        { Schedule.kind = Schedule.Scalar;
+          exprs =
+            [ ("S1", Linexpr.const_int scalar1); ("S2", Linexpr.const_int scalar2) ]
+        }
+      ];
+    annotations = []
+  }
+
+let test_legality_rejects_reversed_dependence () =
+  (* reader textually before its writer at every shared date *)
+  let k = producer_consumer ~n:8 () in
+  let bad =
+    pc_schedule ~scalar1:1 ~scalar2:0 ~e1:(Linexpr.var "i") ~e2:(Linexpr.var "j")
+  in
+  Alcotest.(check bool) "consumer scheduled first is illegal" false
+    (Legality.is_legal bad k (Deps.Analysis.dependences k));
+  match Legality.check bad k (Deps.Analysis.dependences k) with
+  | Ok () -> Alcotest.fail "check accepted a reversed dependence"
+  | Error msg -> Alcotest.(check bool) "diagnostic names a dependence" true (msg <> "")
+
+let test_legality_rejects_fused_beyond_validity () =
+  (* With S2 reading T[j+1], plain fusion at equal dates makes the source
+     instance S1(j+1) run after its consumer S2(j); shifting the consumer
+     by one restores legality — the oracle must tell these apart. *)
+  let k = producer_consumer ~shift:1 ~n:8 () in
+  let deps = Deps.Analysis.dependences k in
+  let fused =
+    pc_schedule ~scalar1:0 ~scalar2:1 ~e1:(Linexpr.var "i") ~e2:(Linexpr.var "j")
+  in
+  Alcotest.(check bool) "fusion across a +1 shift is illegal" false
+    (Legality.is_legal fused k deps);
+  let shifted =
+    pc_schedule ~scalar1:0 ~scalar2:1 ~e1:(Linexpr.var "i")
+      ~e2:(Linexpr.add (Linexpr.var "j") (Linexpr.const_int 1))
+  in
+  Alcotest.(check bool) "shifted fusion is legal" true (Legality.is_legal shifted k deps)
+
+let test_legality_rejects_never_separated () =
+  (* identical dates for dependent statements: the dependence is never
+     strongly satisfied even though it is never reversed either *)
+  let k = producer_consumer ~n:8 () in
+  let bad =
+    pc_schedule ~scalar1:0 ~scalar2:0 ~e1:(Linexpr.var "i") ~e2:(Linexpr.var "j")
+  in
+  Alcotest.(check bool) "coincident dependent dates are illegal" false
+    (Legality.is_legal bad k (Deps.Analysis.dependences k))
+
 let () =
   Alcotest.run "scheduling"
     [ ( "farkas",
@@ -401,6 +479,14 @@ let () =
             test_ilp_cache_hits_on_abandon;
           Alcotest.test_case "loop interchange" `Quick test_influence_loop_interchange;
           Alcotest.test_case "legality oracle rejects" `Quick test_legality_oracle_rejects
+        ] );
+      ( "legality-negative",
+        [ Alcotest.test_case "reversed dependence" `Quick
+            test_legality_rejects_reversed_dependence;
+          Alcotest.test_case "fused beyond validity" `Quick
+            test_legality_rejects_fused_beyond_validity;
+          Alcotest.test_case "never strictly separated" `Quick
+            test_legality_rejects_never_separated
         ] );
       ( "influence-fuzz",
         List.map QCheck_alcotest.to_alcotest [ prop_random_influence_always_legal ] )

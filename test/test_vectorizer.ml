@@ -114,6 +114,101 @@ let test_influenced_all_classics_legal () =
         (Scheduling.Legality.is_legal sched k (Deps.Analysis.dependences k)))
     Ops.Classics.all_small
 
+(* ------------------------------------------------------------------ *)
+(* cost-model properties over fuzz-generated kernels                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Random structurally-valid kernels from the fuzzer's generator; [None]
+   when the drawn case does not convert (the property then holds
+   vacuously — conversion failures are the fuzzer's own concern). *)
+let random_fuzz_kernel_gen =
+  QCheck2.Gen.(
+    map
+      (fun (seed, index) ->
+        match Fuzz.Case.to_kernel (Fuzz.Generate.generate ~seed ~index ()) with
+        | Ok k -> Some k
+        | Error _ -> None)
+      (pair (int_range 0 1_000_000) (int_range 0 1_000)))
+
+let print_kernel_opt = function
+  | None -> "<unconvertible case>"
+  | Some k -> Kernel.to_string k
+
+let prop_scenario_order_invariant =
+  (* Algorithm 2 ranks dimensions per statement from accesses and tensor
+     layout alone: reordering the kernel's statement list must not change
+     any statement's best scenario. *)
+  QCheck2.Test.make ~name:"scenario ranking invariant under statement reordering"
+    ~count:30 ~print:print_kernel_opt random_fuzz_kernel_gen
+    (fun ko ->
+      match ko with
+      | None -> true
+      | Some k ->
+        let rev =
+          Kernel.make ~params:k.Kernel.params ~name:k.Kernel.name
+            ~tensors:k.Kernel.tensors ~stmts:(List.rev k.Kernel.stmts) ()
+        in
+        List.for_all
+          (fun (s : Stmt.t) ->
+            match (Scenario.build k s ~alternative:0, Scenario.build rev s ~alternative:0) with
+            | Some a, Some b ->
+              a.Scenario.dims = b.Scenario.dims
+              && a.Scenario.vector_iter = b.Scenario.vector_iter
+              && a.Scenario.vector_width = b.Scenario.vector_width
+            | None, None -> true
+            | _ -> false)
+          k.Kernel.stmts)
+
+let prop_cost_monotone_in_w1 =
+  (* The store-vectorization term is [w1 * |Vw|] with [|Vw| >= 0]: raising
+     w1 can never lower an innermost score. *)
+  QCheck2.Test.make ~name:"cost monotone in store weight w1" ~count:30
+    ~print:(fun (ko, a, b) ->
+      Printf.sprintf "%s w1a=%g w1b=%g" (print_kernel_opt ko) a b)
+    QCheck2.Gen.(triple random_fuzz_kernel_gen (float_range 0. 10.) (float_range 0. 10.))
+    (fun (ko, wa, wb) ->
+      match ko with
+      | None -> true
+      | Some k ->
+        let lo = Float.min wa wb and hi = Float.max wa wb in
+        List.for_all
+          (fun (s : Stmt.t) ->
+            List.for_all
+              (fun it ->
+                let c w1 =
+                  Costmodel.cost
+                    ~weights:{ Costmodel.default_weights with Costmodel.w1 = w1 }
+                    k s ~iter:it ~innermost:true ~thread_budget:1024
+                in
+                c hi >= c lo)
+              s.Stmt.iters)
+          k.Kernel.stmts)
+
+let prop_vector_iter_accessible =
+  (* A scenario claiming a vector width must have placed an actually
+     vector-accessible iterator innermost, with the width the cost model
+     assigns to it; a scenario without one must claim width 1. *)
+  QCheck2.Test.make ~name:"vector iter is innermost and vector-accessible"
+    ~count:50 ~print:print_kernel_opt random_fuzz_kernel_gen
+    (fun ko ->
+      match ko with
+      | None -> true
+      | Some k ->
+        List.for_all
+          (fun (s : Stmt.t) ->
+            match Scenario.build k s ~alternative:0 with
+            | None -> true
+            | Some sc -> (
+              match sc.Scenario.vector_iter with
+              | None -> sc.Scenario.vector_width = 1
+              | Some it ->
+                (match List.rev sc.Scenario.dims with
+                 | innermost :: _ -> innermost = it
+                 | [] -> false)
+                && sc.Scenario.vector_width >= 2
+                && Costmodel.stmt_vector_width k s ~iter:it = sc.Scenario.vector_width))
+          k.Kernel.stmts)
+
 let () =
   Alcotest.run "vectorizer"
     [ ( "costmodel",
@@ -131,5 +226,10 @@ let () =
           Alcotest.test_case "annotation roundtrip" `Quick test_annotation_roundtrip;
           Alcotest.test_case "influenced fig2" `Quick test_influenced_schedule_fig2;
           Alcotest.test_case "influenced classics legal" `Quick test_influenced_all_classics_legal
-        ] )
+        ] );
+      ( "costmodel-fuzz",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_scenario_order_invariant; prop_cost_monotone_in_w1;
+            prop_vector_iter_accessible
+          ] )
     ]
