@@ -101,6 +101,34 @@ let with_obs o f =
   code
 
 (* ------------------------------------------------------------------ *)
+(* compile-service flags (worker pool + persistent cache)               *)
+(* ------------------------------------------------------------------ *)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the compilation pool.  $(b,1) (the default) stays on the \
+     current domain; $(b,0) means one per recommended core.  Results, counters and \
+     traces are bit-identical for every value."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let resolve_jobs n = if n <= 0 then Service.Pool.default_jobs () else n
+
+let cache_arg =
+  let doc =
+    "Consult (and fill) a persistent content-addressed compile cache in $(docv).  \
+     Omitting $(docv) uses $(b,.akg-cache).  Cached operators skip scheduling and \
+     simulation entirely; entries are invalidated by any change to the kernel, the \
+     machine profile or the cache format."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some ".akg-cache") (some string) None
+    & info [ "cache" ] ~docv:"DIR" ~doc)
+
+let open_cache = Option.map (fun dir -> Service.Cache.open_ dir)
+
+(* ------------------------------------------------------------------ *)
 (* operator lookup                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -251,11 +279,18 @@ let simulate_cmd =
     Term.(const run $ op_arg $ version_arg $ obs_term)
 
 let eval_cmd =
-  let run name o =
+  let run name jobs cache o =
     with_obs o @@ fun () ->
     with_op
       (fun k ->
-        let r = Harness.Eval.evaluate_op ~name k in
+        let r =
+          match
+            Service.Batch.evaluate_suite ?cache:(open_cache cache)
+              ~jobs:(resolve_jobs jobs) [ (name, k) ]
+          with
+          | [ r ] -> r
+          | _ -> assert false
+        in
         Format.printf
           "isl %.2fus  tvm %.2fus  novec %.2fus  infl %.2fus  (influenced %b, vec %b)@."
           r.Harness.Eval.isl_us r.tvm_us r.novec_us r.infl_us r.influenced r.vec;
@@ -265,7 +300,7 @@ let eval_cmd =
       name
   in
   Cmd.v (Cmd.info "eval" ~doc:"Compare the four compiler versions on one operator")
-    Term.(const run $ op_arg $ obs_term)
+    Term.(const run $ op_arg $ jobs_arg $ cache_arg $ obs_term)
 
 let check_cmd =
   let run name o =
@@ -315,30 +350,85 @@ let tune_cmd =
 
 let network_cmd =
   let name_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"NETWORK" ~doc:"Network name")
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"NETWORK" ~doc:"Network name (omit with $(b,--all))")
   in
-  let run name o =
+  let all_arg =
+    let doc = "Evaluate every network suite: the full Table II plus the geomean line." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let run name all jobs cache o =
     with_obs o @@ fun () ->
-    match network_of_name name with
-    | None ->
-      Format.eprintf "unknown network %s@." name;
+    let jobs = resolve_jobs jobs in
+    let cache = open_cache cache in
+    let evaluate (n : Ops.Networks.t) =
+      Service.Batch.evaluate_suite ?cache ~jobs
+        ~progress:(fun op -> Format.eprintf "  %s@." op)
+        (Lazy.force n.Ops.Networks.ops)
+    in
+    let networks =
+      match (name, all) with
+      | _, true -> Ok Ops.Networks.all
+      | Some name, false -> (
+        match network_of_name name with
+        | Some n -> Ok [ n ]
+        | None -> Error (Printf.sprintf "unknown network %s" name))
+      | None, false -> Error "give a network name or --all"
+    in
+    match networks with
+    | Error e ->
+      Format.eprintf "%s@." e;
       1
-    | Some n ->
-      let results =
-        Harness.Eval.evaluate_suite
-          ~progress:(fun op -> Format.eprintf "  %s@." op)
-          (Lazy.force n.Ops.Networks.ops)
+    | Ok networks ->
+      let rows =
+        List.map (fun (n : Ops.Networks.t) -> (n.Ops.Networks.name, evaluate n)) networks
       in
       Harness.Tables.table2_header Format.std_formatter;
-      Harness.Tables.table2_row Format.std_formatter n.Ops.Networks.name results;
+      List.iter
+        (fun (name, results) -> Harness.Tables.table2_row Format.std_formatter name results)
+        rows;
+      if all then Harness.Tables.geomean_line Format.std_formatter rows;
       if o.stats then begin
         Format.printf "@.per-operator scheduling statistics:@.";
-        Harness.Tables.stats_table Format.std_formatter results
+        Harness.Tables.stats_table Format.std_formatter (List.concat_map snd rows)
       end;
       0
   in
-  Cmd.v (Cmd.info "network" ~doc:"Evaluate one network suite (a Table II row)")
-    Term.(const run $ name_arg $ obs_term)
+  Cmd.v
+    (Cmd.info "network"
+       ~doc:"Evaluate network suites (Table II rows); --jobs shards, --cache persists")
+    Term.(const run $ name_arg $ all_arg $ jobs_arg $ cache_arg $ obs_term)
+
+(* ------------------------------------------------------------------ *)
+(* the compile service over stdin/stdout                                *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let run cache o =
+    with_obs o @@ fun () ->
+    let kernel_of_json j = Result.bind (Fuzz.Case.of_json j) Fuzz.Case.to_kernel in
+    let h =
+      Service.Serve.make_handler ?cache:(open_cache cache)
+        ~kernel_of_json:(Some kernel_of_json) ~find_op ()
+    in
+    Service.Serve.serve h stdin stdout;
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the compile service: line-delimited JSON requests on stdin (operator name \
+          or inline fuzz-case kernel, optional version and machine), one JSON reply per \
+          line on stdout; malformed requests get structured error replies"
+       ~man:
+         [ `S Manpage.s_examples;
+           `P "printf '{\"op\":\"fig2\"}\\n' | akg_repro serve";
+           `P
+             "printf '{\"op\":\"bert/bert_ew_000\",\"version\":\"isl\",\
+              \"machine\":\"a100\"}\\n' | akg_repro serve --cache"
+         ])
+    Term.(const run $ cache_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* differential fuzzing                                                 *)
@@ -393,7 +483,7 @@ let fuzz_cmd =
     Arg.(value & opt float Fuzz.Generate.default_config.Fuzz.Generate.skew
          & info [ "skew" ] ~docv:"P" ~doc)
   in
-  let run seed count replay out max_stmts max_rank max_extent skew o =
+  let run seed count replay out max_stmts max_rank max_extent skew jobs o =
     with_obs o @@ fun () ->
     match replay with
     | Some file -> (
@@ -418,7 +508,9 @@ let fuzz_cmd =
           r.Fuzz.shrunk
           (match r.Fuzz.file with Some f -> "\n  replay file: " ^ f | None -> "")
       in
-      let report = Fuzz.run ~config ~out_dir:out ~progress ~seed ~count () in
+      let report =
+        Fuzz.run ~config ~out_dir:out ~progress ~jobs:(resolve_jobs jobs) ~seed ~count ()
+      in
       let nfail = List.length report.Fuzz.failures in
       Format.printf "fuzz: %d cases, %d failures (seed %d)@." report.Fuzz.count nfail
         report.Fuzz.seed;
@@ -432,7 +524,7 @@ let fuzz_cmd =
           well-formedness; failures are shrunk to minimal replayable cases")
     Term.(
       const run $ seed_arg $ count_arg $ replay_arg $ out_arg $ max_stmts_arg
-      $ max_rank_arg $ max_extent_arg $ skew_arg $ obs_term)
+      $ max_rank_arg $ max_extent_arg $ skew_arg $ jobs_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* trace analytics: report / diff                                       *)
@@ -583,4 +675,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ list_cmd; show_cmd; schedule_cmd; codegen_cmd; simulate_cmd; eval_cmd;
-            check_cmd; tune_cmd; network_cmd; fuzz_cmd; report_cmd; diff_cmd ]))
+            check_cmd; tune_cmd; network_cmd; serve_cmd; fuzz_cmd; report_cmd; diff_cmd ]))

@@ -113,9 +113,13 @@ let case_stats case =
   in
   (stmts, rank)
 
-let run ?config ?out_dir ?perturb ?(progress = fun _ -> ()) ~seed ~count () =
-  let failures = ref [] in
-  for index = 0 to count - 1 do
+let run ?config ?out_dir ?perturb ?(progress = fun _ -> ()) ?(jobs = 1) ~seed ~count () =
+  (* Phase 1 — generate + differentially check, sharded across the pool.
+     A case is a pure function of (seed, index) and the interpreter inputs
+     are derived from a fixed seed, so the set of failing indices is
+     independent of [jobs]; the pool's ordered merge keeps counters and
+     trace events identical too. *)
+  let check_one index =
     Obs.Counters.incr c_cases;
     let case = Generate.generate ?config ~seed ~index () in
     Obs.Trace.emitf "fuzz.case" (fun () ->
@@ -123,40 +127,53 @@ let run ?config ?out_dir ?perturb ?(progress = fun _ -> ()) ~seed ~count () =
         [ ("seed", J.Int seed); ("index", J.Int index); ("stmts", J.Int stmts);
           ("rank", J.Int rank)
         ]);
-    match Check.run_case ?perturb case with
-    | Ok () -> ()
-    | Error failure ->
-      Obs.Counters.incr c_failures;
-      (* shrink towards the same (version, stage) failure so the
-         minimized kernel reproduces the original defect, not a new one *)
-      let still_fails c =
-        match Check.run_case ?perturb c with
-        | Error f ->
-          f.Check.version = failure.Check.version && f.Check.stage = failure.Check.stage
-        | Ok () -> false
-      in
-      let shrunk, shrink_steps = Shrink.minimize ~still_fails case in
-      Obs.Counters.add c_shrink_steps shrink_steps;
-      let file =
-        Option.map
-          (fun dir ->
-            ensure_dir dir;
-            let f = Filename.concat dir (Printf.sprintf "fuzz_%d_%d.json" seed index) in
-            save_case ~file:f ~seed ~index ~failure shrunk;
-            f)
-          out_dir
-      in
-      Obs.Trace.emitf "fuzz.failure" (fun () ->
-          let stmts, rank = case_stats shrunk in
-          [ ("seed", J.Int seed); ("index", J.Int index);
-            ("compiler", J.String (Check.version_name failure.Check.version));
-            ("stage", J.String (Check.stage_name failure.Check.stage));
-            ("message", J.String failure.Check.message);
-            ("shrink_steps", J.Int shrink_steps);
-            ("shrunk_stmts", J.Int stmts); ("shrunk_rank", J.Int rank)
-          ]);
-      let r = { index; case; shrunk; shrink_steps; failure; file } in
-      progress r;
-      failures := r :: !failures
-  done;
-  { seed; count; failures = List.rev !failures }
+    (index, case, Check.run_case ?perturb case)
+  in
+  let checked = Service.Pool.map ~jobs check_one (List.init count Fun.id) in
+  (* Phase 2 — shrink failures sequentially, in index order: shrinking is
+     a greedy search whose every probe depends on the previous accept, so
+     parallelism would change the minimized kernels. *)
+  let failures =
+    List.filter_map
+      (fun (index, case, result) ->
+        match result with
+        | Ok () -> None
+        | Error failure ->
+          Obs.Counters.incr c_failures;
+          (* shrink towards the same (version, stage) failure so the
+             minimized kernel reproduces the original defect, not a new one *)
+          let still_fails c =
+            match Check.run_case ?perturb c with
+            | Error f ->
+              f.Check.version = failure.Check.version
+              && f.Check.stage = failure.Check.stage
+            | Ok () -> false
+          in
+          let shrunk, shrink_steps = Shrink.minimize ~still_fails case in
+          Obs.Counters.add c_shrink_steps shrink_steps;
+          let file =
+            Option.map
+              (fun dir ->
+                ensure_dir dir;
+                let f =
+                  Filename.concat dir (Printf.sprintf "fuzz_%d_%d.json" seed index)
+                in
+                save_case ~file:f ~seed ~index ~failure shrunk;
+                f)
+              out_dir
+          in
+          Obs.Trace.emitf "fuzz.failure" (fun () ->
+              let stmts, rank = case_stats shrunk in
+              [ ("seed", J.Int seed); ("index", J.Int index);
+                ("compiler", J.String (Check.version_name failure.Check.version));
+                ("stage", J.String (Check.stage_name failure.Check.stage));
+                ("message", J.String failure.Check.message);
+                ("shrink_steps", J.Int shrink_steps);
+                ("shrunk_stmts", J.Int stmts); ("shrunk_rank", J.Int rank)
+              ]);
+          let r = { index; case; shrunk; shrink_steps; failure; file } in
+          progress r;
+          Some r)
+      checked
+  in
+  { seed; count; failures }

@@ -40,6 +40,7 @@ val run :
   ?out_dir:string ->
   ?perturb:(Check.version -> Scheduling.Schedule.t -> Scheduling.Schedule.t) ->
   ?progress:(failure_report -> unit) ->
+  ?jobs:int ->
   seed:int ->
   count:int ->
   unit ->
@@ -50,7 +51,12 @@ val run :
     [fuzz_<seed>_<index>.json] (the directory is created on first
     failure).  [perturb] rewrites every computed schedule before
     validation — the hook used to prove the fuzzer catches a broken
-    scheduler.  [progress] is called after each failure is minimized. *)
+    scheduler.  [progress] is called after each failure is minimized.
+
+    [jobs > 1] shards the generate+check phase across a
+    {!Service.Pool}.  Cases are a pure function of [(seed, index)], so
+    the failing indices — and the replay files, since shrinking stays
+    sequential in index order — are identical for every [jobs] value. *)
 
 val schema_name : string
 (** ["akg-repro-fuzz-case"], the replay-file schema tag. *)

@@ -43,3 +43,13 @@ let a100 =
     flops_peak = 19.5e12;
     launch_overhead_s = 2.2e-6
   }
+
+let all = [ v100; a100 ]
+
+(* Short aliases let CLI flags and serve requests say "v100" while cache
+   keys keep the full marketing name. *)
+let of_name s =
+  match String.lowercase_ascii s with
+  | "v100" -> Some v100
+  | "a100" -> Some a100
+  | lower -> List.find_opt (fun m -> m.name = lower) all

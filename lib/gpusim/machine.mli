@@ -27,3 +27,10 @@ val v100 : t
 
 val a100 : t
 (** An Ampere-class profile, for cross-generation ranking checks. *)
+
+val all : t list
+
+val of_name : string -> t option
+(** Lookup by full profile name or short alias ("v100", "a100"),
+    case-insensitively — the resolver behind [--machine] and the serve
+    protocol's ["machine"] field. *)

@@ -147,6 +147,84 @@ let evaluate_suite ?machine ?(progress = fun _ -> ()) ops =
       evaluate_op ?machine ~name kernel)
     ops
 
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip (the compile cache's payload format)                 *)
+(* ------------------------------------------------------------------ *)
+
+module J = Obs.Json
+
+let sched_obs_to_json (s : sched_obs) =
+  J.Assoc
+    [ ("ilp_solves", J.Int s.ilp_solves);
+      ("bb_nodes", J.Int s.bb_nodes);
+      ("sibling_moves", J.Int s.sibling_moves);
+      ("ancestor_backtracks", J.Int s.ancestor_backtracks);
+      ("scc_separations", J.Int s.scc_separations);
+      ("abandoned", J.Bool s.abandoned);
+      ("sched_s", J.Float s.sched_s)
+    ]
+
+let result_to_json (r : op_result) =
+  J.Assoc
+    [ ("op", J.String r.op_name);
+      ("isl_us", J.Float r.isl_us);
+      ("tvm_us", J.Float r.tvm_us);
+      ("novec_us", J.Float r.novec_us);
+      ("infl_us", J.Float r.infl_us);
+      ("influenced", J.Bool r.influenced);
+      ("vec", J.Bool r.vec);
+      ("isl_sched", sched_obs_to_json r.obs.isl_sched);
+      ("infl_sched", sched_obs_to_json r.obs.infl_sched);
+      ("tree_s", J.Float r.obs.tree_s);
+      ("lower_s", J.Float r.obs.lower_s);
+      ("sim_s", J.Float r.obs.sim_s)
+    ]
+
+(* Every accessor is strict: a payload missing any field is rejected so a
+   half-written or schema-drifted cache entry recomputes instead of
+   producing a plausible-looking wrong row. *)
+let result_of_json j =
+  let ( let* ) = Result.bind in
+  let str k o = match J.member k o with Some (J.String s) -> Ok s | _ -> Error ("missing string " ^ k) in
+  let num k o =
+    match J.member k o with
+    | Some (J.Float f) -> Ok f
+    | Some (J.Int i) -> Ok (float_of_int i)
+    | _ -> Error ("missing number " ^ k)
+  in
+  let int k o = match J.member k o with Some (J.Int i) -> Ok i | _ -> Error ("missing int " ^ k) in
+  let bool k o = match J.member k o with Some (J.Bool b) -> Ok b | _ -> Error ("missing bool " ^ k) in
+  let sched k o =
+    match J.member k o with
+    | None -> Error ("missing record " ^ k)
+    | Some s ->
+      let* ilp_solves = int "ilp_solves" s in
+      let* bb_nodes = int "bb_nodes" s in
+      let* sibling_moves = int "sibling_moves" s in
+      let* ancestor_backtracks = int "ancestor_backtracks" s in
+      let* scc_separations = int "scc_separations" s in
+      let* abandoned = bool "abandoned" s in
+      let* sched_s = num "sched_s" s in
+      Ok { ilp_solves; bb_nodes; sibling_moves; ancestor_backtracks; scc_separations;
+           abandoned; sched_s }
+  in
+  let* op_name = str "op" j in
+  let* isl_us = num "isl_us" j in
+  let* tvm_us = num "tvm_us" j in
+  let* novec_us = num "novec_us" j in
+  let* infl_us = num "infl_us" j in
+  let* influenced = bool "influenced" j in
+  let* vec = bool "vec" j in
+  let* isl_sched = sched "isl_sched" j in
+  let* infl_sched = sched "infl_sched" j in
+  let* tree_s = num "tree_s" j in
+  let* lower_s = num "lower_s" j in
+  let* sim_s = num "sim_s" j in
+  Ok
+    { op_name; isl_us; tvm_us; novec_us; infl_us; influenced; vec;
+      obs = { isl_sched; infl_sched; tree_s; lower_s; sim_s }
+    }
+
 type aggregate = {
   total : int;
   vec_count : int;

@@ -54,6 +54,15 @@ val evaluate_suite :
   (string * Ir.Kernel.t) list ->
   op_result list
 
+val result_to_json : op_result -> Obs.Json.t
+(** Full-fidelity serialization (floats round-trip exactly): the payload
+    the compile cache stores for an operator. *)
+
+val result_of_json : Obs.Json.t -> (op_result, string) result
+(** Strict inverse of {!result_to_json}: any missing or mistyped field is
+    an [Error], so stale cache payloads recompute instead of decoding
+    into garbage. *)
+
 type aggregate = {
   total : int;
   vec_count : int;

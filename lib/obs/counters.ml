@@ -1,8 +1,17 @@
 type t = { cname : string; doc : string; mutable v : int }
 
+(* The registry is only written by [create] (module-initialization time in
+   practice) and by [merge] on the coordinating domain, but both are guarded
+   so a late lazy registration cannot race a concurrent [find]. *)
 let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
 
 let create ?(doc = "") cname =
+  with_registry @@ fun () ->
   match Hashtbl.find_opt registry cname with
   | Some c -> c
   | None ->
@@ -10,26 +19,83 @@ let create ?(doc = "") cname =
     Hashtbl.replace registry cname c;
     c
 
-let incr c = c.v <- c.v + 1
+(* Domain-local scopes: inside [scoped], increments land in a per-domain
+   delta table instead of the shared handle, so worker domains never write
+   shared state and a task's counter arithmetic (delta-around-a-call
+   patterns) observes only its own increments.  Reads see the shared value
+   plus the local delta, preserving monotone-counter semantics. *)
+type scope = (string, int ref) Hashtbl.t
+
+let scope_key : scope option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let scope_cell scope cname =
+  match Hashtbl.find_opt scope cname with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace scope cname r;
+    r
+
+let incr c =
+  match Domain.DLS.get scope_key with
+  | Some s -> Stdlib.incr (scope_cell s c.cname)
+  | None -> c.v <- c.v + 1
 
 let add c n =
   if n < 0 then invalid_arg "Obs.Counters.add: negative amount";
-  c.v <- c.v + n
+  match Domain.DLS.get scope_key with
+  | Some s ->
+    let r = scope_cell s c.cname in
+    r := !r + n
+  | None -> c.v <- c.v + n
 
-let value c = c.v
+let local_delta cname =
+  match Domain.DLS.get scope_key with
+  | Some s -> (match Hashtbl.find_opt s cname with Some r -> !r | None -> 0)
+  | None -> 0
+
+let value c = c.v + local_delta c.cname
 
 let name c = c.cname
 
 let find cname =
-  match Hashtbl.find_opt registry cname with
-  | Some c -> c.v
-  | None -> 0
+  let shared =
+    with_registry @@ fun () ->
+    match Hashtbl.find_opt registry cname with Some c -> c.v | None -> 0
+  in
+  shared + local_delta cname
 
-let reset_all () = Hashtbl.iter (fun _ c -> c.v <- 0) registry
+let reset_all () =
+  (with_registry @@ fun () -> Hashtbl.iter (fun _ c -> c.v <- 0) registry);
+  match Domain.DLS.get scope_key with
+  | Some s -> Hashtbl.reset s
+  | None -> ()
 
 let snapshot () =
-  Hashtbl.fold (fun _ c acc -> (c.cname, c.v) :: acc) registry []
+  (with_registry @@ fun () ->
+   Hashtbl.fold (fun _ c acc -> (c.cname, c.v + local_delta c.cname) :: acc) registry [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let scoped f =
+  let saved = Domain.DLS.get scope_key in
+  let s : scope = Hashtbl.create 32 in
+  Domain.DLS.set scope_key (Some s);
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set scope_key saved)
+    (fun () ->
+      let r = f () in
+      let deltas =
+        Hashtbl.fold (fun k v acc -> if !v <> 0 then (k, !v) :: acc else acc) s []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      (r, deltas))
+
+let merge deltas =
+  List.iter
+    (fun (cname, d) ->
+      if d < 0 then invalid_arg "Obs.Counters.merge: negative delta";
+      add (create cname) d)
+    deltas
 
 let pp_table fmt () =
   let entries = List.filter (fun (_, v) -> v <> 0) (snapshot ()) in

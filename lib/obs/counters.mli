@@ -8,7 +8,17 @@
 
     Counters only move up ({!incr}, {!add} with a non-negative amount);
     the only way down is {!reset_all}, which zeroes every registered
-    counter at once. *)
+    counter at once.
+
+    {b Domain safety.}  Increments are plain mutable-field updates and the
+    shared registry is never written from hot paths, so concurrent
+    unscoped increments from several domains would race.  Worker domains
+    therefore run inside {!scoped}, which buffers all increments in a
+    domain-local delta table; the coordinating domain applies the returned
+    deltas with {!merge} after joining the worker, in a deterministic
+    order.  Inside a scope, reads ({!value}, {!find}, {!snapshot}) see the
+    shared value plus the local delta, so delta-around-a-call arithmetic
+    keeps working and observes only the current task's increments. *)
 
 type t
 (** A registered counter handle. *)
@@ -37,6 +47,20 @@ val reset_all : unit -> unit
 
 val snapshot : unit -> (string * int) list
 (** All registered counters with their current values, sorted by name. *)
+
+val scoped : (unit -> 'a) -> 'a * (string * int) list
+(** [scoped f] runs [f] with all counter increments buffered in a
+    domain-local table and returns [f]'s result with the nonzero deltas,
+    sorted by name.  The deltas are {e not} applied to the shared
+    counters — pass them to {!merge} (from the coordinating domain, or
+    from an enclosing scope) to account for them.  This is how
+    [Service.Pool] keeps counters exact and deterministic under
+    [--jobs]. *)
+
+val merge : (string * int) list -> unit
+(** Adds each delta to the counter of that name (registering it when
+    unknown).  Respects an enclosing scope, so nested pools compose.
+    @raise Invalid_argument on a negative delta. *)
 
 val pp_table : Format.formatter -> unit -> unit
 (** Human-readable two-column table of {!snapshot}, skipping zeros. *)

@@ -33,14 +33,43 @@ let clear () =
   count := 0;
   epoch := Unix.gettimeofday ()
 
+(* Domain-local buffer installed by [buffered]: worker domains append
+   here (sequence numbers assigned later, by [append]) instead of touching
+   the shared event list.  [on] and [epoch] are only written while no
+   worker domain is running, so the plain reads below are race-free. *)
+let buffer_key : event list ref option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
 let emit kind fields =
   if !on then begin
     let ts_us = (Unix.gettimeofday () -. !epoch) *. 1e6 in
-    rev_events := { seq = !count; ts_us; kind; fields } :: !rev_events;
-    incr count
+    match Domain.DLS.get buffer_key with
+    | Some b -> b := { seq = -1; ts_us; kind; fields } :: !b
+    | None ->
+      rev_events := { seq = !count; ts_us; kind; fields } :: !rev_events;
+      incr count
   end
 
 let emitf kind mk = if !on then emit kind (mk ())
+
+let buffered f =
+  let saved = Domain.DLS.get buffer_key in
+  let b = ref [] in
+  Domain.DLS.set buffer_key (Some b);
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set buffer_key saved)
+    (fun () ->
+      let r = f () in
+      (r, List.rev !b))
+
+let append evs =
+  List.iter
+    (fun e ->
+      match Domain.DLS.get buffer_key with
+      | Some b -> b := { e with seq = -1 } :: !b
+      | None ->
+        rev_events := { e with seq = !count } :: !rev_events;
+        incr count)
+    evs
 
 let events () = List.rev !rev_events
 

@@ -43,6 +43,18 @@ val emitf : string -> (unit -> (string * Json.t) list) -> unit
 (** Like {!emit} but the fields are only computed when tracing is on —
     use this whenever building the fields does real work. *)
 
+val buffered : (unit -> 'a) -> 'a * event list
+(** [buffered f] runs [f] with event emission redirected to a
+    domain-local buffer and returns [f]'s result with the buffered
+    events in emission order (their [seq] fields are placeholders).
+    Worker domains run tasks under [buffered]; the coordinator splices
+    each task's events back with {!append} in task order, so a parallel
+    run produces the same event sequence as the sequential one. *)
+
+val append : event list -> unit
+(** Appends events to the trace (or to the enclosing buffer when
+    nested), re-assigning sequence numbers; timestamps are kept. *)
+
 val events : unit -> event list
 (** Recorded events, oldest first. *)
 

@@ -7,11 +7,13 @@ type config = {
   max_ilp_nodes : int;
   include_input_proximity : bool;
   feautrier_fallback : bool;
+  ilp_cache_entries : int;
 }
 
 let default_config =
   { coef_bound = 4; const_bound = 4; max_ilp_nodes = 200_000;
-    include_input_proximity = false; feautrier_fallback = false }
+    include_input_proximity = false; feautrier_fallback = false;
+    ilp_cache_entries = 512 }
 
 type stats = {
   mutable ilp_solves : int;
@@ -64,6 +66,10 @@ let c_cache_hits =
 let c_cache_misses =
   Obs.Counters.create "scheduler.ilp_cache_misses"
     ~doc:"ILP solves that reached the branch-and-bound solver"
+
+let c_cache_evictions =
+  Obs.Counters.create "scheduler.ilp_cache_evictions"
+    ~doc:"memoized ILP entries dropped by the per-schedule cache cap"
 
 (* Depth-first cursor into the influence tree.  [parents] holds, innermost
    first, the remaining (lower-priority) siblings of each ancestor together
@@ -208,8 +214,24 @@ let schedule ?(config = default_config) ?(influence = Influence.empty) kernel =
      per schedule construction so those re-solves are table lookups.  The
      cache is local to this call — a global one would make the solver
      counters depend on what ran before, breaking run-to-run counter
-     determinism. *)
+     determinism.  Entries are capped (FIFO eviction): a pathological
+     backtracking run inside a long serve/fuzz process must not hold an
+     unbounded set of solved tableaux alive. *)
   let ilp_cache : (string, (string -> Q.t) option) Hashtbl.t = Hashtbl.create 64 in
+  let ilp_cache_order : string Queue.t = Queue.create () in
+  let ilp_cache_add key r =
+    if config.ilp_cache_entries > 0 then begin
+      if Hashtbl.length ilp_cache >= config.ilp_cache_entries then begin
+        match Queue.take_opt ilp_cache_order with
+        | Some oldest ->
+          Hashtbl.remove ilp_cache oldest;
+          Obs.Counters.incr c_cache_evictions
+        | None -> ()
+      end;
+      Hashtbl.add ilp_cache key r;
+      Queue.add key ilp_cache_order
+    end
+  in
 
   let loop_ordinal () = stats.loop_dims in
 
@@ -391,7 +413,7 @@ let schedule ?(config = default_config) ?(influence = Influence.empty) kernel =
               | exception Ilp.Unbounded_objective -> None
               | r -> r
             in
-            Hashtbl.add ilp_cache cache_key r;
+            ilp_cache_add cache_key r;
             r)
     in
     Obs.Trace.emitf "scheduler.solve" (fun () ->

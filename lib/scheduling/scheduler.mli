@@ -32,6 +32,12 @@ type config = {
           number of strongly satisfied dependences, via 0/1 slacks) instead
           of plain distance minimization — the isl mechanism the paper
           mentions but did not need (Section IV-B); off by default *)
+  ilp_cache_entries : int;
+      (** cap on the per-schedule ILP memo cache (512 by default; [0]
+          disables memoization).  Oldest entries are evicted first,
+          counted by [scheduler.ilp_cache_evictions], so a backtracking
+          blow-up inside a long-lived serve or fuzz process stays
+          bounded. *)
 }
 
 val default_config : config

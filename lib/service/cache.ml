@@ -1,0 +1,150 @@
+let schema_name = "akg-repro-cache-entry"
+
+let c_hits =
+  Obs.Counters.create "service.cache_hits" ~doc:"compile results answered from disk"
+
+let c_misses =
+  Obs.Counters.create "service.cache_misses" ~doc:"cache lookups that missed"
+
+let c_stores = Obs.Counters.create "service.cache_stores" ~doc:"cache entries written"
+
+let c_corrupt =
+  Obs.Counters.create "service.cache_corrupt"
+    ~doc:"unreadable/mismatched cache entries dropped (recomputed, not fatal)"
+
+let c_evictions =
+  Obs.Counters.create "service.cache_evictions" ~doc:"entries evicted by the size cap"
+
+type t = { dir : string; max_bytes : int }
+
+let default_max_bytes = 256 * 1024 * 1024
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_ ?(max_bytes = default_max_bytes) dir =
+  mkdir_p dir;
+  { dir; max_bytes }
+
+let dir t = t.dir
+
+let entry_path t key = Filename.concat t.dir (Key.digest key ^ ".json")
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let drop_corrupt path =
+  Obs.Counters.incr c_corrupt;
+  try Sys.remove path with Sys_error _ -> ()
+
+(* A lookup either returns the stored payload or degrades to a miss;
+   truncated, unparseable or mismatched entries are deleted so the next
+   store rewrites them.  A hit refreshes the file's mtime — the eviction
+   order below is least-recently-used. *)
+let find t key =
+  let path = entry_path t key in
+  match read_all path with
+  | exception Sys_error _ ->
+    Obs.Counters.incr c_misses;
+    None
+  | contents -> (
+    match Obs.Json.of_string contents with
+    | Error _ ->
+      drop_corrupt path;
+      Obs.Counters.incr c_misses;
+      None
+    | Ok j ->
+      let field name =
+        match Obs.Json.member name j with
+        | Some (Obs.Json.String s) -> Some s
+        | _ -> None
+      in
+      let format_ok =
+        match Obs.Json.member "format" j with
+        | Some (Obs.Json.Int v) -> v = Key.format key
+        | _ -> false
+      in
+      if
+        field "schema" = Some schema_name
+        && format_ok
+        && field "digest" = Some (Key.digest key)
+      then
+        match Obs.Json.member "payload" j with
+        | Some payload ->
+          (try Unix.utimes path 0.0 0.0 (* both 0: set to now *)
+           with Unix.Unix_error _ -> ());
+          Obs.Counters.incr c_hits;
+          Some payload
+        | None ->
+          drop_corrupt path;
+          Obs.Counters.incr c_misses;
+          None
+      else begin
+        drop_corrupt path;
+        Obs.Counters.incr c_misses;
+        None
+      end)
+
+let entries_by_age t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names
+    |> List.filter_map (fun name ->
+           if Filename.check_suffix name ".json" then
+             let path = Filename.concat t.dir name in
+             match Unix.stat path with
+             | exception Unix.Unix_error _ -> None
+             | st when st.Unix.st_kind = Unix.S_REG ->
+               Some (path, st.Unix.st_mtime, st.Unix.st_size)
+             | _ -> None
+           else None)
+    (* oldest first; ties broken by name so eviction order is total *)
+    |> List.sort (fun (pa, ta, _) (pb, tb, _) ->
+           match Float.compare ta tb with 0 -> String.compare pa pb | c -> c)
+
+let evict_to_cap t =
+  let entries = entries_by_age t in
+  let total = List.fold_left (fun acc (_, _, sz) -> acc + sz) 0 entries in
+  let excess = ref (total - t.max_bytes) in
+  List.iter
+    (fun (path, _, sz) ->
+      if !excess > 0 then begin
+        (try Sys.remove path with Sys_error _ -> ());
+        excess := !excess - sz;
+        Obs.Counters.incr c_evictions
+      end)
+    entries
+
+let store t key payload =
+  let doc =
+    Obs.Json.Assoc
+      [ ("schema", Obs.Json.String schema_name);
+        ("format", Obs.Json.Int (Key.format key));
+        ("digest", Obs.Json.String (Key.digest key));
+        ("label", Obs.Json.String (Key.label key));
+        ("payload", payload)
+      ]
+  in
+  let tmp = Filename.temp_file ~temp_dir:t.dir ".store" ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () ->
+         output_string oc (Obs.Json.to_string doc);
+         output_char oc '\n')
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  (* atomic publish: a concurrent reader sees the old entry or the new
+     one, never a torn write *)
+  Unix.rename tmp (entry_path t key);
+  Obs.Counters.incr c_stores;
+  evict_to_cap t

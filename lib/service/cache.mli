@@ -1,0 +1,41 @@
+(** Persistent, content-addressed compile cache.
+
+    One directory, one JSON file per entry, named [<digest>.json] after
+    its {!Key}.  Entries wrap an arbitrary JSON payload (a serialized
+    {!Harness.Eval.op_result}, a serve reply) in a self-describing
+    envelope [{schema; format; digest; label; payload}].
+
+    Robustness over cleverness:
+    - writes go to a temp file in the same directory and are published
+      with an atomic [rename], so readers never see torn entries;
+    - every lookup re-validates schema, format version and digest; a
+      truncated, corrupt or mismatched file counts [service.cache_corrupt],
+      is deleted, and reads as a miss — the caller recomputes;
+    - the directory is LRU size-capped: each store evicts
+      oldest-mtime-first (hits refresh mtime) until total entry bytes fit
+      under the cap, counting [service.cache_evictions].
+
+    Counters: [service.cache_hits], [service.cache_misses],
+    [service.cache_stores], [service.cache_corrupt],
+    [service.cache_evictions]. *)
+
+type t
+
+val default_max_bytes : int
+(** 256 MiB. *)
+
+val open_ : ?max_bytes:int -> string -> t
+(** Creates the directory (and parents) when missing. *)
+
+val dir : t -> string
+
+val find : t -> Key.t -> Obs.Json.t option
+(** The stored payload, or [None] (missing, corrupt, or format/digest
+    mismatch — never raises on bad cache state). *)
+
+val store : t -> Key.t -> Obs.Json.t -> unit
+(** Atomically writes the entry, then enforces the size cap.
+    @raise Sys_error when the cache directory itself is unwritable. *)
+
+val entry_path : t -> Key.t -> string
+(** Where an entry lives on disk (for tests and debugging). *)

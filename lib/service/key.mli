@@ -1,0 +1,35 @@
+(** Content-addressed cache keys.
+
+    A key is a stable digest of everything a compile+simulate result
+    depends on: the full kernel IR text, the machine profile, the
+    compiler version ([isl]/[novec]/[infl], or a coarser entry tag such
+    as ["eval"] for whole four-version results), free-form flags
+    (vectorizer/tiling switches, entry kind), and the cache format
+    version.  Equal inputs digest equally across processes and runs;
+    any change — including a {!format_version} bump — changes the digest,
+    so stale on-disk entries turn into plain misses. *)
+
+type t
+
+val format_version : int
+(** Current cache-format version; part of every digest preimage. *)
+
+val make :
+  ?format_version:int ->
+  ?flags:(string * string) list ->
+  kernel:Ir.Kernel.t ->
+  machine:Gpusim.Machine.t ->
+  version:string ->
+  unit ->
+  t
+(** [flags] are sorted before digesting, so flag order never matters.
+    [?format_version] exists for tests (simulating a format bump); real
+    callers take the default. *)
+
+val digest : t -> string
+(** Hex digest — the cache file's basename. *)
+
+val format : t -> int
+
+val label : t -> string
+(** Human-readable ["kernel/version"] tag, for logs and serve replies. *)

@@ -1,0 +1,77 @@
+(* Tasks are self-scheduled off a shared atomic cursor: each worker domain
+   repeatedly claims the next unclaimed index, so load balances like a
+   work-stealing deque without per-worker queues (tasks here are coarse —
+   whole operator compilations — so the cursor is never contended enough
+   to matter).  Determinism comes from the merge step, not the execution
+   order: every task runs under Obs capture, and the coordinator applies
+   counter deltas, span buckets and trace events in task-index order after
+   the join, so `--jobs 4` produces bit-identical observability to
+   `--jobs 1`. *)
+
+let c_tasks =
+  Obs.Counters.create "service.pool_tasks"
+    ~doc:"tasks executed through Service.Pool (any job count)"
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Worker domains must not spawn nested pools: a task that calls back into
+   [map] runs its sub-tasks sequentially on the same domain. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+type 'b slot = {
+  result : ('b, exn) result;
+  counters : (string * int) list;
+  spans : (string * int * float) list;
+  trace : Obs.Trace.event list;
+}
+
+let run_task f x =
+  let ((result, counters), spans), trace =
+    Obs.Trace.buffered (fun () ->
+        Obs.Span.scoped (fun () ->
+            Obs.Counters.scoped (fun () ->
+                Obs.Counters.incr c_tasks;
+                match f x with r -> Ok r | exception e -> Error e)))
+  in
+  { result; counters; spans; trace }
+
+let map ~jobs f xs =
+  let n = List.length xs in
+  if jobs <= 1 || n <= 1 || Domain.DLS.get in_worker then
+    List.map
+      (fun x ->
+        Obs.Counters.incr c_tasks;
+        f x)
+      xs
+  else begin
+    let input = Array.of_list xs in
+    let slots : 'b slot option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      Domain.DLS.set in_worker true;
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          slots.(i) <- Some (run_task f input.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains;
+    (* merge in task-index order: deterministic counters and traces *)
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      match slots.(i) with
+      | None -> assert false (* every index was claimed before the join *)
+      | Some s -> out := s :: !out
+    done;
+    List.iter
+      (fun s ->
+        Obs.Counters.merge s.counters;
+        Obs.Span.merge s.spans;
+        Obs.Trace.append s.trace)
+      !out;
+    List.map (function { result = Ok r; _ } -> r | { result = Error e; _ } -> raise e) !out
+  end

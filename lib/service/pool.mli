@@ -1,0 +1,26 @@
+(** Bounded worker pool on OCaml 5 domains, with deterministic
+    observability.
+
+    [map ~jobs f xs] applies [f] to every element of [xs], running up to
+    [jobs] tasks concurrently on spawned domains.  Results come back in
+    input order regardless of completion order, and every task runs under
+    {!Obs.Counters.scoped}, {!Obs.Span.scoped} and {!Obs.Trace.buffered}:
+    the pool folds each task's counter deltas, span buckets and trace
+    events back into the shared Obs state {e in task-index order} after
+    joining the workers.  Consequently a parallel run is observationally
+    bit-identical to a sequential one — same counter totals, same trace
+    event sequence — which is what lets [--jobs N] reproduce Table II
+    exactly.
+
+    Tasks must be independent: they may not assume shared mutable state
+    beyond the Obs layer (the compilation pipeline is pure per kernel).
+    A task that raises fails the whole [map] with that exception, after
+    all tasks have run and been merged. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what [--jobs 0] resolves to. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [jobs <= 1], singleton/empty input, or a call from inside a pool
+    worker (nested parallelism) degrade to a plain sequential [List.map]
+    on the current domain — same counters, same traces, no spawning. *)

@@ -1,0 +1,144 @@
+module J = Obs.Json
+
+let c_requests =
+  Obs.Counters.create "service.serve_requests" ~doc:"serve requests handled"
+
+let c_errors =
+  Obs.Counters.create "service.serve_errors" ~doc:"serve requests answered with an error"
+
+type handler = {
+  find_op : string -> Ir.Kernel.t option;
+  kernel_of_json : (J.t -> (Ir.Kernel.t, string) result) option;
+  cache : Cache.t option;
+  default_machine : Gpusim.Machine.t;
+}
+
+let make_handler ?(kernel_of_json = None) ?cache
+    ?(default_machine = Gpusim.Machine.v100) ~find_op () =
+  { find_op; kernel_of_json; cache; default_machine }
+
+type version = Isl | Novec | Infl
+
+let version_name = function Isl -> "isl" | Novec -> "novec" | Infl -> "infl"
+
+let version_of_name = function
+  | "isl" -> Some Isl
+  | "novec" -> Some Novec
+  | "infl" -> Some Infl
+  | _ -> None
+
+let compile version kernel =
+  match version with
+  | Isl ->
+    let sched, stats = Scheduling.Scheduler.schedule kernel in
+    (sched, stats, Codegen.Compile.lower ~vectorize:false sched kernel)
+  | Novec | Infl ->
+    let tree = Vectorizer.Treegen.influence_for kernel in
+    let sched, stats = Scheduling.Scheduler.schedule ~influence:tree kernel in
+    (sched, stats, Codegen.Compile.lower ~vectorize:(version = Infl) sched kernel)
+
+let compile_report ~machine ~version ~op kernel =
+  let sched, stats, compiled = compile version kernel in
+  let report = Gpusim.Sim.run ~machine compiled in
+  let legal =
+    match Scheduling.Legality.check sched kernel (Deps.Analysis.dependences kernel) with
+    | Ok () -> true
+    | Error _ -> false
+  in
+  [ ("op", J.String op);
+    ("version", J.String (version_name version));
+    ("machine", J.String machine.Gpusim.Machine.name);
+    ("rows", J.Int (List.length sched.Scheduling.Schedule.rows));
+    ("loop_dims", J.Int stats.Scheduling.Scheduler.loop_dims);
+    ("scalar_dims", J.Int stats.Scheduling.Scheduler.scalar_dims);
+    ("ilp_solves", J.Int stats.Scheduling.Scheduler.ilp_solves);
+    ("abandoned", J.Bool stats.Scheduling.Scheduler.influence_abandoned);
+    ("legal", J.Bool legal);
+    ("time_us", J.Float (Gpusim.Sim.time_us report))
+  ]
+
+let error msg =
+  Obs.Counters.incr c_errors;
+  J.to_string (J.Assoc [ ("status", J.String "error"); ("error", J.String msg) ])
+
+let ok ~cached ~digest fields =
+  J.to_string
+    (J.Assoc
+       (("status", J.String "ok")
+       :: ("cached", J.Bool cached)
+       :: ("digest", J.String digest)
+       :: fields))
+
+(* One request per line: {"op": NAME | "kernel": CASE, "version"?, "machine"?}.
+   Every outcome — including unparseable input — is a single-line JSON
+   reply; the serve loop never crashes on a bad request. *)
+let handle_line h line =
+  Obs.Counters.incr c_requests;
+  match J.of_string line with
+  | Error e -> error (Printf.sprintf "parse: %s" e)
+  | Ok req -> (
+    let version =
+      match J.member "version" req with
+      | None -> Ok Infl
+      | Some (J.String s) -> (
+        match version_of_name s with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "unknown version %S (isl|novec|infl)" s))
+      | Some _ -> Error "version must be a string"
+    in
+    let machine =
+      match J.member "machine" req with
+      | None -> Ok h.default_machine
+      | Some (J.String s) -> (
+        match Gpusim.Machine.of_name s with
+        | Some m -> Ok m
+        | None -> Error (Printf.sprintf "unknown machine %S" s))
+      | Some _ -> Error "machine must be a string"
+    in
+    let kernel =
+      match (J.member "op" req, J.member "kernel" req) with
+      | Some (J.String name), None -> (
+        match h.find_op name with
+        | Some k -> Ok (name, k)
+        | None -> Error (Printf.sprintf "unknown operator %S" name))
+      | None, Some kj -> (
+        match h.kernel_of_json with
+        | None -> Error "inline kernels not supported by this endpoint"
+        | Some of_json -> (
+          match of_json kj with
+          | Ok k -> Ok (k.Ir.Kernel.name, k)
+          | Error e -> Error (Printf.sprintf "kernel: %s" e)))
+      | Some _, None -> Error "op must be a string"
+      | Some _, Some _ -> Error "give either op or kernel, not both"
+      | None, None -> Error "request needs an op name or an inline kernel"
+    in
+    match (version, machine, kernel) with
+    | Error e, _, _ | _, Error e, _ | _, _, Error e -> error e
+    | Ok version, Ok machine, Ok (op, kernel) -> (
+      let key =
+        Key.make ~kernel ~machine ~version:(version_name version)
+          ~flags:[ ("entry", "serve"); ("op", op) ] ()
+      in
+      match Option.bind h.cache (fun c -> Cache.find c key) with
+      | Some (J.Assoc fields) -> ok ~cached:true ~digest:(Key.digest key) fields
+      | Some _ | None -> (
+        match compile_report ~machine ~version ~op kernel with
+        | exception Scheduling.Scheduler.Failure_no_schedule msg ->
+          error (Printf.sprintf "no schedule: %s" msg)
+        | fields ->
+          Option.iter (fun c -> Cache.store c key (J.Assoc fields)) h.cache;
+          ok ~cached:false ~digest:(Key.digest key) fields)))
+
+let serve h ic oc =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line ->
+      if String.trim line <> "" then begin
+        output_string oc (handle_line h line);
+        output_char oc '\n';
+        flush oc
+      end;
+      loop ()
+  in
+  loop ()

@@ -1,0 +1,42 @@
+(** The compile service's front door: line-delimited JSON over channels.
+
+    Requests, one JSON object per line:
+    {v
+    {"op": "fig2"}
+    {"op": "bert/bert_ew_000", "version": "novec", "machine": "a100"}
+    {"kernel": <fuzz-case JSON>, "version": "isl"}
+    v}
+    ["version"] defaults to ["infl"], ["machine"] to the handler's
+    default (V100).  Replies are one JSON object per line:
+    [{"status":"ok","cached":B,"digest":D,"op":...,"version":...,
+    "machine":...,"rows":N,"loop_dims":N,"scalar_dims":N,"ilp_solves":N,
+    "abandoned":B,"legal":B,"time_us":F}] on success, and
+    [{"status":"error","error":MSG}] for anything else — a malformed
+    request is a structured error reply, never a crash, and the loop
+    keeps serving.
+
+    With a {!Cache}, replies are stored keyed by
+    (kernel, machine, version, entry=serve) and repeated requests are
+    answered from disk with ["cached": true].
+
+    Operator-name resolution and inline-kernel decoding are injected, so
+    this module stays independent of the operator zoo and the fuzzer's
+    kernel format (the CLI wires [find_op] to classics + network/op
+    lookup and [kernel_of_json] to [Fuzz.Case.of_json]). *)
+
+type handler
+
+val make_handler :
+  ?kernel_of_json:(Obs.Json.t -> (Ir.Kernel.t, string) result) option ->
+  ?cache:Cache.t ->
+  ?default_machine:Gpusim.Machine.t ->
+  find_op:(string -> Ir.Kernel.t option) ->
+  unit ->
+  handler
+
+val handle_line : handler -> string -> string
+(** One request line in, one reply line out (no trailing newline). *)
+
+val serve : handler -> in_channel -> out_channel -> unit
+(** Reads requests until EOF, writing and flushing one reply per
+    request; blank lines are skipped. *)

@@ -1,0 +1,320 @@
+(* Tests for the compile service (lib/service): cache key stability, the
+   on-disk cache's hit/miss/corruption/eviction behavior, worker-pool
+   determinism, cache-aware suite evaluation, and the serve front end. *)
+
+let reset () = Obs.reset_all ()
+
+let classic name =
+  match List.assoc_opt name Ops.Classics.all with
+  | Some mk -> mk ()
+  | None -> Alcotest.failf "missing classic operator %s" name
+
+let find_classic name = Option.map (fun mk -> mk ()) (List.assoc_opt name Ops.Classics.all)
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "akg_service_test_%d_%d" (Unix.getpid ()) !n)
+    in
+    if Sys.file_exists d then
+      Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+    d
+
+let counter = Obs.Counters.find
+
+(* ------------------------------------------------------------------ *)
+(* Keys                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_key_stability () =
+  let k = classic "fig2" and k' = classic "transpose_add" in
+  let v100 = Gpusim.Machine.v100 and a100 = Gpusim.Machine.a100 in
+  let mk ?format_version ?flags kernel machine version =
+    Service.Key.digest
+      (Service.Key.make ?format_version ?flags ~kernel ~machine ~version ())
+  in
+  Alcotest.(check string) "deterministic" (mk k v100 "eval") (mk k v100 "eval");
+  Alcotest.(check string)
+    "flag order irrelevant"
+    (mk ~flags:[ ("a", "1"); ("b", "2") ] k v100 "eval")
+    (mk ~flags:[ ("b", "2"); ("a", "1") ] k v100 "eval");
+  let base = mk k v100 "eval" in
+  Alcotest.(check bool) "kernel changes digest" false (base = mk k' v100 "eval");
+  Alcotest.(check bool) "machine changes digest" false (base = mk k a100 "eval");
+  Alcotest.(check bool) "version changes digest" false (base = mk k v100 "isl");
+  Alcotest.(check bool)
+    "flags change digest" false
+    (base = mk ~flags:[ ("tile", "32") ] k v100 "eval");
+  Alcotest.(check bool)
+    "format bump changes digest" false
+    (base = mk ~format_version:(Service.Key.format_version + 1) k v100 "eval")
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_order_and_counters () =
+  reset ();
+  let c = Obs.Counters.create "test.pool_work" in
+  let f x =
+    Obs.Counters.incr c;
+    x * x
+  in
+  let xs = List.init 20 Fun.id in
+  let seq = Service.Pool.map ~jobs:1 f xs in
+  let seq_total = Obs.Counters.value c in
+  let par = Service.Pool.map ~jobs:4 f xs in
+  Alcotest.(check (list int)) "input order preserved" seq par;
+  Alcotest.(check int) "counter totals match sequential" seq_total
+    (Obs.Counters.value c - seq_total)
+
+let test_pool_exception () =
+  reset ();
+  Alcotest.check_raises "task exception surfaces" (Failure "boom") (fun () ->
+      ignore
+        (Service.Pool.map ~jobs:4
+           (fun x -> if x = 7 then failwith "boom" else x)
+           (List.init 12 Fun.id)))
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let payload tag = Obs.Json.Assoc [ ("tag", Obs.Json.String tag) ]
+
+let key ?format_version ?flags tag =
+  Service.Key.make ?format_version
+    ~flags:(("tag", tag) :: Option.value ~default:[] flags)
+    ~kernel:(classic "fig2") ~machine:Gpusim.Machine.v100 ~version:"test" ()
+
+let test_cache_roundtrip () =
+  reset ();
+  let c = Service.Cache.open_ (fresh_dir ()) in
+  let k = key "roundtrip" in
+  Alcotest.(check bool) "cold lookup misses" true (Service.Cache.find c k = None);
+  Alcotest.(check int) "miss counted" 1 (counter "service.cache_misses");
+  Service.Cache.store c k (payload "v");
+  Alcotest.(check bool)
+    "warm lookup hits" true
+    (Service.Cache.find c k = Some (payload "v"));
+  Alcotest.(check int) "hit counted" 1 (counter "service.cache_hits")
+
+let test_cache_corrupt () =
+  reset ();
+  let c = Service.Cache.open_ (fresh_dir ()) in
+  let k = key "corrupt" in
+  Service.Cache.store c k (payload "v");
+  let path = Service.Cache.entry_path c k in
+  (* truncate mid-document: a torn write that the atomic rename is meant
+     to prevent, simulated directly *)
+  let oc = open_out path in
+  output_string oc "{\"schema\":\"akg-repro-cache-entry\",\"form";
+  close_out oc;
+  Alcotest.(check bool) "corrupt entry reads as miss" true (Service.Cache.find c k = None);
+  Alcotest.(check int) "corruption counted" 1 (counter "service.cache_corrupt");
+  Alcotest.(check bool) "corrupt file deleted" false (Sys.file_exists path);
+  Service.Cache.store c k (payload "v2");
+  Alcotest.(check bool)
+    "recompute repopulates" true
+    (Service.Cache.find c k = Some (payload "v2"))
+
+let test_cache_format_bump () =
+  reset ();
+  let c = Service.Cache.open_ (fresh_dir ()) in
+  Service.Cache.store c (key "bump") (payload "v");
+  let bumped = key ~format_version:(Service.Key.format_version + 1) "bump" in
+  Alcotest.(check bool)
+    "bumped format is a plain miss" true
+    (Service.Cache.find c bumped = None);
+  (* a file whose recorded format disagrees with its key is corrupt *)
+  let k = key "tamper" in
+  Service.Cache.store c k (payload "v");
+  let path = Service.Cache.entry_path c k in
+  let ic = open_in path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let tampered =
+    Str.replace_first
+      (Str.regexp_string (Printf.sprintf "\"format\":%d" Service.Key.format_version))
+      (Printf.sprintf "\"format\":%d" (Service.Key.format_version + 1))
+      contents
+  in
+  let oc = open_out path in
+  output_string oc tampered;
+  close_out oc;
+  Alcotest.(check bool)
+    "tampered format reads as miss" true
+    (Service.Cache.find c k = None)
+
+let test_cache_eviction () =
+  reset ();
+  let dir = fresh_dir () in
+  let big = Service.Cache.open_ dir in
+  let keys = List.map (fun i -> key (Printf.sprintf "evict%d" i)) [ 1; 2; 3 ] in
+  List.iter (fun k -> Service.Cache.store big k (payload "v")) keys;
+  let size k = (Unix.stat (Service.Cache.entry_path big k)).Unix.st_size in
+  let entry_bytes = size (List.hd keys) in
+  (* age the three entries oldest-first *)
+  List.iteri
+    (fun i k ->
+      let t = 1000.0 +. float_of_int i in
+      Unix.utimes (Service.Cache.entry_path big k) t t)
+    keys;
+  (* a cap of two-and-a-half entries: after the fourth store, the two
+     oldest must go to get back under it *)
+  let capped = Service.Cache.open_ ~max_bytes:(5 * entry_bytes / 2) dir in
+  Service.Cache.store capped (key "evict4") (payload "v");
+  let alive k = Sys.file_exists (Service.Cache.entry_path capped k) in
+  (match keys with
+   | [ k1; k2; k3 ] ->
+     Alcotest.(check bool) "oldest evicted" false (alive k1);
+     Alcotest.(check bool) "second-oldest evicted" false (alive k2);
+     Alcotest.(check bool) "newer survivor kept" true (alive k3);
+     Alcotest.(check bool) "fresh store kept" true (alive (key "evict4"))
+   | _ -> assert false);
+  Alcotest.(check int) "evictions counted" 2 (counter "service.cache_evictions")
+
+(* ------------------------------------------------------------------ *)
+(* Batch                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let suite_ops = [ "transpose_add"; "reduce_2d" ]
+let suite () = List.map (fun n -> (n, classic n)) suite_ops
+
+(* drop the wall-clock observation fields (suffix "_s"): they are real
+   elapsed times, so only the cached-replay path reproduces them
+   bit-for-bit *)
+let rec strip_times = function
+  | Obs.Json.Assoc kvs ->
+    Obs.Json.Assoc
+      (List.filter_map
+         (fun (k, v) ->
+           if String.length k > 2 && String.sub k (String.length k - 2) 2 = "_s" then
+             None
+           else Some (k, strip_times v))
+         kvs)
+  | Obs.Json.List l -> Obs.Json.List (List.map strip_times l)
+  | j -> j
+
+let render ?(timeless = false) results =
+  String.concat "\n"
+    (List.map
+       (fun r ->
+         let j = Harness.Eval.result_to_json r in
+         Obs.Json.to_string (if timeless then strip_times j else j))
+       results)
+
+let test_batch_cache_roundtrip () =
+  reset ();
+  let cache = Service.Cache.open_ (fresh_dir ()) in
+  let cold = render (Service.Batch.evaluate_suite ~cache (suite ())) in
+  let solves_after_cold = counter "scheduler.ilp_solves" in
+  Alcotest.(check int)
+    "cold run stores every op" (List.length suite_ops)
+    (counter "service.cache_stores");
+  let warm = render (Service.Batch.evaluate_suite ~cache (suite ())) in
+  Alcotest.(check string) "warm results bit-identical" cold warm;
+  Alcotest.(check int)
+    "warm run hits every op" (List.length suite_ops)
+    (counter "service.cache_hits");
+  Alcotest.(check int)
+    "warm run performs zero ILP solves" solves_after_cold
+    (counter "scheduler.ilp_solves")
+
+let test_batch_corrupt_entry_recomputes () =
+  reset ();
+  let cache = Service.Cache.open_ (fresh_dir ()) in
+  let cold = render ~timeless:true (Service.Batch.evaluate_suite ~cache (suite ())) in
+  let name = List.hd suite_ops in
+  let k =
+    Service.Batch.eval_key ~machine:Gpusim.Machine.v100 ~name (classic name)
+  in
+  let oc = open_out (Service.Cache.entry_path cache k) in
+  output_string oc "garbage";
+  close_out oc;
+  let again = render ~timeless:true (Service.Batch.evaluate_suite ~cache (suite ())) in
+  Alcotest.(check string) "recomputed results identical" cold again;
+  Alcotest.(check int) "only the intact entry hits" 1 (counter "service.cache_hits");
+  Alcotest.(check bool)
+    "corrupt entry was recomputed and re-stored" true
+    (Service.Cache.find cache k <> None)
+
+let test_suite_determinism_across_jobs () =
+  reset ();
+  let row results =
+    Format.asprintf "%a" (fun fmt -> Harness.Tables.table2_row fmt "SUITE") results
+  in
+  let (r1, d1) =
+    Obs.Counters.scoped (fun () -> Service.Batch.evaluate_suite ~jobs:1 (suite ()))
+  in
+  let (r4, d4) =
+    Obs.Counters.scoped (fun () -> Service.Batch.evaluate_suite ~jobs:4 (suite ()))
+  in
+  Alcotest.(check string) "Table II row identical under --jobs" (row r1) (row r4);
+  Alcotest.(check string)
+    "structural results identical"
+    (render ~timeless:true r1) (render ~timeless:true r4);
+  Alcotest.(check (list (pair string int)))
+    "merged counter totals identical" d1 d4
+
+(* ------------------------------------------------------------------ *)
+(* Serve                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_serve_requests () =
+  reset ();
+  let cache = Service.Cache.open_ (fresh_dir ()) in
+  let h = Service.Serve.make_handler ~cache ~find_op:find_classic () in
+  let reply line = Service.Serve.handle_line h line in
+  let has needle hay =
+    Alcotest.(check bool) (Printf.sprintf "reply contains %s" needle) true
+      (let re = Str.regexp_string needle in
+       try ignore (Str.search_forward re hay 0); true with Not_found -> false)
+  in
+  let r1 = reply {|{"op":"fig2"}|} in
+  has {|"status":"ok"|} r1;
+  has {|"cached":false|} r1;
+  has {|"legal":true|} r1;
+  let r2 = reply {|{"op":"fig2"}|} in
+  has {|"status":"ok"|} r2;
+  has {|"cached":true|} r2;
+  (* identical digests prove the reply really came back from the entry *)
+  has {|"digest"|} r2;
+  Alcotest.(check string) "cached reply matches computed reply"
+    (Str.global_replace (Str.regexp_string {|"cached":false|}) {|"cached":true|} r1)
+    r2;
+  let r3 = reply "this is not json" in
+  has {|"status":"error"|} r3;
+  has {|parse|} r3;
+  let r4 = reply {|{"op":"no_such_operator"}|} in
+  has {|"status":"error"|} r4;
+  has {|no_such_operator|} r4;
+  let r5 = reply {|{"op":"fig2","version":"warp"}|} in
+  has {|"status":"error"|} r5;
+  Alcotest.(check int) "every request counted" 5 (counter "service.serve_requests");
+  Alcotest.(check int) "errors counted" 3 (counter "service.serve_errors")
+
+let () =
+  Alcotest.run "service"
+    [ ("key", [ Alcotest.test_case "stability" `Quick test_key_stability ]);
+      ( "pool",
+        [ Alcotest.test_case "order and counters" `Quick test_pool_order_and_counters;
+          Alcotest.test_case "exceptions" `Quick test_pool_exception
+        ] );
+      ( "cache",
+        [ Alcotest.test_case "roundtrip" `Quick test_cache_roundtrip;
+          Alcotest.test_case "corruption" `Quick test_cache_corrupt;
+          Alcotest.test_case "format bump" `Quick test_cache_format_bump;
+          Alcotest.test_case "eviction" `Quick test_cache_eviction
+        ] );
+      ( "batch",
+        [ Alcotest.test_case "cache roundtrip" `Quick test_batch_cache_roundtrip;
+          Alcotest.test_case "corrupt entry" `Quick test_batch_corrupt_entry_recomputes;
+          Alcotest.test_case "jobs determinism" `Quick test_suite_determinism_across_jobs
+        ] );
+      ("serve", [ Alcotest.test_case "scripted requests" `Quick test_serve_requests ])
+    ]
