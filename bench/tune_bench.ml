@@ -1,0 +1,128 @@
+(* Autotuner benchmark: runs the beam search over the full operator zoo,
+   reports per-operator movement versus the paper's fixed-weight baseline,
+   and writes the numbers to BENCH_PR6.json (schema akg-repro-bench-tune).
+
+   Usage:  dune exec bench/tune_bench.exe [OUT.json]
+
+   Two invariants are asserted before anything is reported: the search is
+   deterministic (a second run from the same seed produces identical
+   records), and no operator regresses (tuned time <= baseline time for
+   every outcome — the search's tie-to-baseline construction). *)
+
+module J = Obs.Json
+
+let out_file = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_PR6.json"
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let movements (result : Tune.Search.result) =
+  List.map
+    (fun (oc : Tune.Search.op_outcome) ->
+      { Harness.Tables.mv_op = oc.Tune.Search.op;
+        mv_baseline_us = oc.Tune.Search.baseline_m.Tune.Oracle.time_us;
+        mv_tuned_us = oc.Tune.Search.best_m.Tune.Oracle.time_us;
+        mv_config = Tune.Candidate.describe oc.Tune.Search.best
+      })
+    result.Tune.Search.outcomes
+
+let record_fingerprints result =
+  List.map
+    (fun (r : Tune.Record.t) -> (r.Tune.Record.fingerprint, Tune.Record.digest r))
+    (Tune.Search.to_records result)
+
+let () =
+  let cores = Domain.recommended_domain_count () in
+  let jobs = max 4 cores in
+  let cache_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "akg_tune_bench_%d" (Unix.getpid ()))
+  in
+  let cache = Service.Cache.open_ cache_dir in
+  let corpus = Tune.Corpus.zoo () in
+  let config = Tune.Search.default_config in
+  Printf.printf "tune bench: %d ops, beam %d, %d rounds, seed %d, %d jobs\n%!"
+    (List.length corpus) config.Tune.Search.beam config.Tune.Search.rounds
+    config.Tune.Search.seed jobs;
+
+  let evals0 = Obs.Counters.find "tune.evals" in
+  let result, t_cold = timed (fun () -> Tune.Search.run ~cache ~jobs config corpus) in
+  let cold_evals = Obs.Counters.find "tune.evals" - evals0 in
+  Printf.printf "  cold search           %7.2f s  (%d oracle evaluations)\n%!" t_cold
+    cold_evals;
+
+  (* warm re-run: every evaluation answered by the compile cache *)
+  let evals0 = Obs.Counters.find "tune.evals" in
+  let hits0 = Obs.Counters.find "tune.eval_cache_hits" in
+  let result2, t_warm = timed (fun () -> Tune.Search.run ~cache ~jobs:1 config corpus) in
+  let warm_evals = Obs.Counters.find "tune.evals" - evals0 in
+  let warm_hits = Obs.Counters.find "tune.eval_cache_hits" - hits0 in
+  Printf.printf "  warm re-run           %7.2f s  (%d hits, %d recomputed)\n%!" t_warm
+    warm_hits warm_evals;
+
+  (* determinism: same seed, same corpus -> identical records, at any
+     jobs value and regardless of cache temperature *)
+  assert (record_fingerprints result = record_fingerprints result2);
+  assert (warm_evals = 0);
+
+  let rows = movements result in
+  (* the no-regression guarantee, checked operator by operator *)
+  List.iter
+    (fun (m : Harness.Tables.movement) ->
+      assert (m.Harness.Tables.mv_tuned_us <= m.Harness.Tables.mv_baseline_us))
+    rows;
+  Harness.Tables.movement_table Format.std_formatter rows;
+
+  let geomean = Harness.Tables.movement_geomean rows in
+  let improved =
+    List.length
+      (List.filter
+         (fun (m : Harness.Tables.movement) ->
+           m.Harness.Tables.mv_tuned_us < m.Harness.Tables.mv_baseline_us)
+         rows)
+  in
+  let doc =
+    J.Assoc
+      [ ("schema", J.String "akg-repro-bench-tune");
+        ("version", J.Int 1);
+        ("cores", J.Int cores);
+        ("jobs", J.Int jobs);
+        ("ops", J.Int (List.length corpus));
+        ("beam", J.Int config.Tune.Search.beam);
+        ("rounds", J.Int config.Tune.Search.rounds);
+        ("seed", J.Int config.Tune.Search.seed);
+        ("cold_s", J.Float t_cold);
+        ("warm_s", J.Float t_warm);
+        ("cold_evals", J.Int cold_evals);
+        ("warm_cache_hits", J.Int warm_hits);
+        ("geomean_speedup", J.Float geomean);
+        ("improved_ops", J.Int improved);
+        ("records", J.Int (List.length (Tune.Search.to_records result)));
+        ( "ops_detail",
+          J.List
+            (List.map
+               (fun (m : Harness.Tables.movement) ->
+                 J.Assoc
+                   [ ("op", J.String m.Harness.Tables.mv_op);
+                     ("baseline_us", J.Float m.Harness.Tables.mv_baseline_us);
+                     ("tuned_us", J.Float m.Harness.Tables.mv_tuned_us);
+                     ("config", J.String m.Harness.Tables.mv_config)
+                   ])
+               rows) );
+        ( "counters",
+          J.Assoc
+            (List.map
+               (fun (k, v) -> (k, J.Int v))
+               (List.filter
+                  (fun (k, _) -> String.length k >= 5 && String.sub k 0 5 = "tune.")
+                  (Obs.Counters.snapshot ()))) )
+      ]
+  in
+  let oc = open_out out_file in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  geomean movement %.4fx (%d of %d ops improved); wrote %s\n%!" geomean
+    improved (List.length rows) out_file

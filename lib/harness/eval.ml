@@ -63,11 +63,25 @@ let timed_schedule ?influence kernel =
   in
   (sched, stats, obs)
 
-let evaluate_op ?(machine = Gpusim.Machine.v100) ~name kernel =
+type tuning = {
+  weights : Vectorizer.Costmodel.weights;
+  order : int list option;
+}
+
+let influence_with ?tuning kernel =
+  match tuning with
+  | None -> Vectorizer.Treegen.influence_for kernel
+  | Some t ->
+    let tree = Vectorizer.Treegen.influence_for ~weights:t.weights kernel in
+    (match t.order with
+     | None -> tree
+     | Some order -> Scheduling.Influence.select order tree)
+
+let evaluate_op ?(machine = Gpusim.Machine.v100) ?tuning ~name kernel =
   Obs.Span.with_ "harness.op" @@ fun () ->
   Obs.Trace.emitf "harness.op_start" (fun () -> [ ("op", Obs.Json.String name) ]);
   let isl_sched, _, isl_obs = timed_schedule kernel in
-  let tree, tree_s = Obs.Span.timed (fun () -> Vectorizer.Treegen.influence_for kernel) in
+  let tree, tree_s = Obs.Span.timed (fun () -> influence_with ?tuning kernel) in
   let infl_sched, infl_stats, infl_obs = timed_schedule ~influence:tree kernel in
   let lower_s = ref 0.0 and sim_s = ref 0.0 in
   let lower f =
@@ -140,11 +154,12 @@ let evaluate_op ?(machine = Gpusim.Machine.v100) ~name kernel =
       ]);
   r
 
-let evaluate_suite ?machine ?(progress = fun _ -> ()) ops =
+let evaluate_suite ?machine ?(progress = fun _ -> ()) ?tuning_for ops =
   List.map
     (fun (name, kernel) ->
       progress name;
-      evaluate_op ?machine ~name kernel)
+      let tuning = Option.bind tuning_for (fun f -> f name kernel) in
+      evaluate_op ?machine ?tuning ~name kernel)
     ops
 
 (* ------------------------------------------------------------------ *)

@@ -45,12 +45,35 @@ type op_result = {
   obs : op_obs;
 }
 
+type tuning = {
+  weights : Vectorizer.Costmodel.weights;
+      (** cost-model weight vector for scenario construction *)
+  order : int list option;
+      (** influence-tree root-branch selection ({!Scheduling.Influence.select});
+          [None] keeps the natural branch order *)
+}
+(** A tuned compilation configuration, as found by the autotuner
+    ([lib/tune]) and persisted in tuning records.  Only the influenced
+    versions ({b novec}/{b infl}) are affected — the {b isl} baseline and
+    the {b tvm} comparator never see injected constraints, so a tuned
+    evaluation still measures against the paper's fixed baselines. *)
+
+val influence_with : ?tuning:tuning -> Ir.Kernel.t -> Scheduling.Influence.t
+(** The influence tree a (possibly tuned) evaluation injects: paper
+    weights and natural branch order when [tuning] is absent — the
+    fixed-configuration fallback for operators without a tuning record. *)
+
 val evaluate_op :
-  ?machine:Gpusim.Machine.t -> name:string -> Ir.Kernel.t -> op_result
+  ?machine:Gpusim.Machine.t ->
+  ?tuning:tuning ->
+  name:string ->
+  Ir.Kernel.t ->
+  op_result
 
 val evaluate_suite :
   ?machine:Gpusim.Machine.t ->
   ?progress:(string -> unit) ->
+  ?tuning_for:(string -> Ir.Kernel.t -> tuning option) ->
   (string * Ir.Kernel.t) list ->
   op_result list
 

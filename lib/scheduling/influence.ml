@@ -26,6 +26,17 @@ let rec node_size n = 1 + List.fold_left (fun acc c -> acc + node_size c) 0 n.ch
 
 let size t = List.fold_left (fun acc n -> acc + node_size n) 0 t
 
+let select order t =
+  let n = List.length t in
+  let _, picked =
+    List.fold_left
+      (fun (seen, acc) i ->
+        if i < 0 || i >= n || List.mem i seen then (seen, acc)
+        else (i :: seen, List.nth t i :: acc))
+      ([], []) order
+  in
+  List.rev picked
+
 let rec node_leaves n =
   match n.children with
   | [] -> [ n ]

@@ -1,0 +1,104 @@
+type t = {
+  weights : Vectorizer.Weights.t;
+  order : int list option;
+}
+
+let baseline = { weights = Vectorizer.Weights.default_paper; order = None }
+
+let equal a b = Vectorizer.Weights.equal a.weights b.weights && a.order = b.order
+
+let order_string = function
+  | None -> "natural"
+  | Some o -> String.concat "," (List.map string_of_int o)
+
+let digest c =
+  Printf.sprintf "w=%s;o=%s" (Vectorizer.Weights.to_flag c.weights) (order_string c.order)
+
+let describe c =
+  if equal c baseline then "paper default"
+  else
+    Printf.sprintf "w=%s%s"
+      (Vectorizer.Weights.to_compact_string c.weights)
+      (match c.order with None -> "" | Some _ -> " order=" ^ order_string c.order)
+
+(* Off / damped / neutral / amplified / dominant: the regimes of a weight
+   whose only meaning is its ratio to the other four. *)
+let weight_palette = [ 0.0; 0.5; 1.0; 2.0; 3.0; 5.0; 8.0 ]
+
+let max_order_branches = 8
+
+let set_weight (w : Vectorizer.Weights.t) slot v =
+  match slot with
+  | 0 -> { w with Vectorizer.Weights.w1 = v }
+  | 1 -> { w with Vectorizer.Weights.w2 = v }
+  | 2 -> { w with Vectorizer.Weights.w3 = v }
+  | 3 -> { w with Vectorizer.Weights.w4 = v }
+  | _ -> { w with Vectorizer.Weights.w5 = v }
+
+let natural = List.init max_order_branches Fun.id
+
+let rotate = function [] -> [] | x :: r -> r @ [ x ]
+
+let mutate rng c =
+  if Fuzz.Rng.bool rng then
+    let slot = Fuzz.Rng.int rng 5 in
+    let v = Fuzz.Rng.pick rng weight_palette in
+    { c with weights = set_weight c.weights slot v }
+  else begin
+    let order = match c.order with None -> natural | Some o -> o in
+    let n = List.length order in
+    match Fuzz.Rng.int rng 4 with
+    | 0 when n >= 2 ->
+      (* swap two positions *)
+      let i = Fuzz.Rng.int rng n and j = Fuzz.Rng.int rng n in
+      let o =
+        List.mapi
+          (fun p x ->
+            if p = i then List.nth order j
+            else if p = j then List.nth order i
+            else x)
+          order
+      in
+      { c with order = Some o }
+    | 1 -> { c with order = Some (rotate order) }
+    | 2 when n >= 2 ->
+      (* truncate: drop the lowest-priority branches *)
+      let m = 1 + Fuzz.Rng.int rng (n - 1) in
+      { c with order = Some (List.filteri (fun p _ -> p < m) order) }
+    | _ -> { c with order = None }
+  end
+
+module J = Obs.Json
+
+let to_json c =
+  J.Assoc
+    [ ("weights", Vectorizer.Weights.to_json c.weights);
+      ( "order",
+        match c.order with
+        | None -> J.Null
+        | Some o -> J.List (List.map (fun i -> J.Int i) o) )
+    ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let* weights =
+    match J.member "weights" j with
+    | Some w -> Vectorizer.Weights.of_json w
+    | None -> Error "candidate: missing weights"
+  in
+  let* order =
+    match J.member "order" j with
+    | Some J.Null -> Ok None
+    | Some (J.List l) ->
+      let ints =
+        List.fold_left
+          (fun acc x ->
+            match (acc, x) with
+            | Ok r, J.Int i -> Ok (i :: r)
+            | _ -> Error "candidate: non-integer order entry")
+          (Ok []) l
+      in
+      Result.map (fun r -> Some (List.rev r)) ints
+    | _ -> Error "candidate: missing order"
+  in
+  Ok { weights; order }

@@ -1,0 +1,53 @@
+(** One point of the tuning search space.
+
+    A candidate is a cost-model weight vector plus an influence-tree
+    root-branch selection (ordering and/or subset of the scenario
+    branches {!Vectorizer.Treegen.influence_for} produces, applied with
+    {!Scheduling.Influence.select}).  {!baseline} is the paper's fixed
+    configuration; every search starts there, and every tuning report is
+    movement relative to it.
+
+    Mutation draws weights from a small discrete palette rather than a
+    continuum: the cost model only consumes weight {e ratios}, the
+    palette spans the regimes that matter (term off, damped, neutral,
+    dominant), and a discrete grid keeps the space enumerable enough for
+    a beam to cover and for tests to plant a reachable optimum in. *)
+
+type t = {
+  weights : Vectorizer.Weights.t;
+  order : int list option;
+      (** root-branch selection for {!Scheduling.Influence.select};
+          [None] keeps the generator's natural branch order *)
+}
+
+val baseline : t
+(** {!Vectorizer.Weights.default_paper} with the natural branch order. *)
+
+val equal : t -> t -> bool
+
+val digest : t -> string
+(** Stable content digest (weights in hex floats, order verbatim): equal
+    candidates digest equally across processes; used for memoization,
+    compile-cache flags and deduplication. *)
+
+val describe : t -> string
+(** Human-readable form for reports, e.g. ["w=(5,3,1,1,1) order=2,0"];
+    the baseline renders as ["paper default"]. *)
+
+val weight_palette : float list
+(** The values a mutated weight is drawn from. *)
+
+val max_order_branches : int
+(** Branch indices mutations may reference: the generator's default
+    branch cap (8). *)
+
+val mutate : Fuzz.Rng.t -> t -> t
+(** One random edit: replace one weight with a palette value, or edit
+    the branch selection (swap, rotate, truncate, or reset to natural
+    order).  Deterministic in the RNG state; may return a candidate
+    equal to the input (callers dedup by {!digest}). *)
+
+val to_json : t -> Obs.Json.t
+
+val of_json : Obs.Json.t -> (t, string) result
+(** Strict inverse of {!to_json}. *)

@@ -1,0 +1,45 @@
+let zoo () =
+  let classics = List.map (fun (name, mk) -> (name, mk ())) Ops.Classics.all in
+  let nets =
+    List.concat_map
+      (fun (n : Ops.Networks.t) ->
+        List.map
+          (fun (op, kernel) -> (n.Ops.Networks.name ^ "/" ^ op, kernel))
+          (Lazy.force n.Ops.Networks.ops))
+      Ops.Networks.all
+  in
+  classics @ nets
+
+let fuzz ~seed ~count =
+  let rec draw acc index =
+    if List.length acc >= count || index >= count * 8 then List.rev acc
+    else
+      let case = Fuzz.Generate.generate ~seed ~index () in
+      match Fuzz.Case.to_kernel case with
+      | Ok kernel ->
+        let name = Printf.sprintf "fuzz/%d/%d" seed index in
+        draw ((name, kernel) :: acc) (index + 1)
+      | Error _ -> draw acc (index + 1)
+  in
+  draw [] 0
+
+let restrict filters ops =
+  match filters with
+  | [] -> ops
+  | _ ->
+    let matches name =
+      List.exists
+        (fun f ->
+          let f = String.lowercase_ascii f and name = String.lowercase_ascii name in
+          f = name
+          || (String.length f > 0
+             && String.length f <= String.length name
+             &&
+             let rec contains i =
+               if i + String.length f > String.length name then false
+               else String.sub name i (String.length f) = f || contains (i + 1)
+             in
+             contains 0))
+        filters
+    in
+    List.filter (fun (name, _) -> matches name) ops

@@ -1,0 +1,22 @@
+(** Tuning corpora: the named operator sets a search runs over.
+
+    [zoo] is the repository's whole operator zoo — the eleven classic
+    kernels plus every network operator of Table II, named
+    ["network/op"] so records report where they came from.  [fuzz]
+    draws generated kernels from {!Fuzz.Generate}, for exercising the
+    tuner off the beaten path; generation is seeded, so a fuzz corpus
+    is as reproducible as the zoo. *)
+
+val zoo : unit -> (string * Ir.Kernel.t) list
+(** Classics first (their own names), then network operators in Table I
+    order as ["bert/op_name"] etc. *)
+
+val fuzz : seed:int -> count:int -> (string * Ir.Kernel.t) list
+(** [count] generated kernels named ["fuzz/<seed>/<index>"]; indices
+    that fail kernel conversion are skipped (the generator over-draws
+    until [count] survive or the index space is exhausted). *)
+
+val restrict : string list -> (string * Ir.Kernel.t) list -> (string * Ir.Kernel.t) list
+(** Keeps operators whose name matches any filter — exactly, or by
+    substring (so ["resnet50"] keeps that network's whole suite).  An
+    empty filter list keeps everything. *)

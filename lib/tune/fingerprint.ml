@@ -1,0 +1,2 @@
+let of_kernel (k : Ir.Kernel.t) =
+  Digest.to_hex (Digest.string (Ir.Kernel.to_string { k with Ir.Kernel.name = "" }))

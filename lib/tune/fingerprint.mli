@@ -1,0 +1,13 @@
+(** Kernel-shape fingerprints: the identity tuning records are keyed by.
+
+    A fingerprint digests everything scheduling and simulation can see —
+    tensors, iteration domains, access functions, expression structure,
+    parameter bindings — while normalizing the kernel's {e name}, so two
+    operators that differ only in what they are called share one tuning
+    record.  Statement and tensor names are kept: they are part of the
+    printed IR and renaming them yields an isomorphic but distinct
+    kernel, which simply tunes separately (a miss, never a wrong hit). *)
+
+val of_kernel : Ir.Kernel.t -> string
+(** Hex digest of the name-normalized kernel text.  Stable across
+    processes and runs: the same kernel always fingerprints equally. *)

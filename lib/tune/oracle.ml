@@ -1,0 +1,106 @@
+type measurement = {
+  time_us : float;
+  cycles : float;
+  vec : bool;
+  influenced : bool;
+}
+
+let c_evals = Obs.Counters.create "tune.evals" ~doc:"oracle evaluations computed"
+
+let c_cache_hits =
+  Obs.Counters.create "tune.eval_cache_hits" ~doc:"oracle evaluations answered from the compile cache"
+
+let c_failures =
+  Obs.Counters.create "tune.eval_failures"
+    ~doc:"oracle evaluations whose pipeline raised (candidate scored as unusable)"
+
+let key ~machine kernel candidate =
+  Service.Key.make
+    ~flags:[ ("entry", "tune"); ("candidate", Candidate.digest candidate) ]
+    ~kernel ~machine ~version:"tune-infl" ()
+
+module J = Obs.Json
+
+let measurement_to_json = function
+  | None -> J.Assoc [ ("failed", J.Bool true) ]
+  | Some m ->
+    J.Assoc
+      [ ("failed", J.Bool false);
+        ("time_us", J.Float m.time_us);
+        ("cycles", J.Float m.cycles);
+        ("vec", J.Bool m.vec);
+        ("influenced", J.Bool m.influenced)
+      ]
+
+let measurement_of_json j =
+  match J.member "failed" j with
+  | Some (J.Bool true) -> Some None
+  | Some (J.Bool false) -> (
+    let flt name =
+      match J.member name j with
+      | Some (J.Float f) -> Some f
+      | Some (J.Int i) -> Some (float_of_int i)
+      | _ -> None
+    in
+    let bool name =
+      match J.member name j with Some (J.Bool b) -> Some b | _ -> None
+    in
+    match (flt "time_us", flt "cycles", bool "vec", bool "influenced") with
+    | Some time_us, Some cycles, Some vec, Some influenced ->
+      Some (Some { time_us; cycles; vec; influenced })
+    | _ -> None)
+  | _ -> None
+
+let find cache k =
+  match Service.Cache.find cache k with
+  | None -> None
+  | Some payload -> (
+    match measurement_of_json payload with
+    | Some m ->
+      Obs.Counters.incr c_cache_hits;
+      Some m
+    | None -> None)
+
+let rec has_vector_loop = function
+  | Codegen.Ast.Stmts l -> List.exists has_vector_loop l
+  | Codegen.Ast.If (_, b) -> has_vector_loop b
+  | Codegen.Ast.Exec _ -> false
+  | Codegen.Ast.VecExec _ -> true
+  | Codegen.Ast.For l -> l.Codegen.Ast.step > 1 || has_vector_loop l.Codegen.Ast.body
+
+let compute ~machine kernel (c : Candidate.t) =
+  Obs.Span.with_ "tune.eval" @@ fun () ->
+  Obs.Counters.incr c_evals;
+  match
+    let tree = Vectorizer.Treegen.influence_for ~weights:c.Candidate.weights kernel in
+    let tree =
+      match c.Candidate.order with
+      | None -> tree
+      | Some order -> Scheduling.Influence.select order tree
+    in
+    let sched, stats = Scheduling.Scheduler.schedule ~influence:tree kernel in
+    let compiled =
+      Codegen.Compile.lower ~vectorize:true ~vec_min_parallel:2048 sched kernel
+    in
+    let report = Gpusim.Sim.run ~machine compiled in
+    { time_us = Gpusim.Sim.time_us report;
+      cycles = Gpusim.Sim.cycles ~machine report;
+      vec = has_vector_loop compiled.Codegen.Compile.ast;
+      influenced = not stats.Scheduling.Scheduler.influence_abandoned
+    }
+  with
+  | m -> Some m
+  | exception _ ->
+    Obs.Counters.incr c_failures;
+    None
+
+let store cache k m = Service.Cache.store cache k (measurement_to_json m)
+
+let measure ?cache ~machine kernel candidate =
+  let k = key ~machine kernel candidate in
+  match Option.bind cache (fun c -> find c k) with
+  | Some m -> m
+  | None ->
+    let m = compute ~machine kernel candidate in
+    Option.iter (fun c -> store c k m) cache;
+    m

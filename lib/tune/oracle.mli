@@ -1,0 +1,48 @@
+(** The tuning oracle: scores one (operator, candidate) pair.
+
+    [compute] mirrors the harness's [infl] version exactly — influence
+    tree from the candidate's weights, root-branch selection, scheduler,
+    vectorizing lowering, {!Gpusim.Sim} — so a time the search observes
+    here is the time [eval --tuned] will reproduce later.  That mirror
+    is what makes the search's "tuned never worse than baseline"
+    guarantee transfer from tuning to evaluation.
+
+    Evaluations are memoized in the compile cache under a
+    ["tune-infl"]-versioned key whose flags carry the candidate digest;
+    repeated searches, re-runs with a wider beam, and CI smoke jobs all
+    hit instead of recompiling.  Cache [find]/[store] are split from
+    [compute] so the search can keep cache I/O on the coordinating
+    domain while sharding only the miss computation across workers. *)
+
+type measurement = {
+  time_us : float;  (** simulated execution time *)
+  cycles : float;  (** {!Gpusim.Sim.cycles} on the same machine *)
+  vec : bool;  (** lowering produced a vector loop *)
+  influenced : bool;  (** scheduler accepted (some of) the influence tree *)
+}
+
+val key : machine:Gpusim.Machine.t -> Ir.Kernel.t -> Candidate.t -> Service.Key.t
+(** Compile-cache key for this evaluation: version ["tune-infl"], flags
+    carrying the candidate digest. *)
+
+val find : Service.Cache.t -> Service.Key.t -> measurement option option
+(** [Some (Some m)] — cached successful measurement; [Some None] — the
+    evaluation is cached as failed (the candidate crashes the pipeline
+    on this kernel, don't retry); [None] — cache miss.  Coordinator-only,
+    like all compile-cache access. *)
+
+val compute : machine:Gpusim.Machine.t -> Ir.Kernel.t -> Candidate.t -> measurement option
+(** Runs tree → schedule → lower → simulate; [None] if any stage
+    raises (counted as [tune.eval_failures]).  Pure compute, safe to run
+    on worker domains. *)
+
+val store : Service.Cache.t -> Service.Key.t -> measurement option -> unit
+
+val measure :
+  ?cache:Service.Cache.t ->
+  machine:Gpusim.Machine.t ->
+  Ir.Kernel.t ->
+  Candidate.t ->
+  measurement option
+(** [find]-or-[compute]-then-[store] in one call, for sequential
+    callers (tests, single-op tuning). *)

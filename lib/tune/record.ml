@@ -1,0 +1,85 @@
+type t = {
+  fingerprint : string;
+  machine : string;
+  candidate : Candidate.t;
+  baseline_us : float;
+  tuned_us : float;
+  seed : int;
+  beam : int;
+  rounds : int;
+  source_op : string;
+}
+
+let schema = "akg-repro-tune-record"
+
+let format_version = 1
+
+let address ~fingerprint ~machine =
+  Digest.to_hex
+    (Digest.string (Printf.sprintf "%s|%s|%s|%d" schema fingerprint machine format_version))
+
+let digest r =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "%s|%d|%s|%s|%s|%h|%h|%d|%d|%d|%s" schema format_version
+          r.fingerprint r.machine (Candidate.digest r.candidate) r.baseline_us r.tuned_us
+          r.seed r.beam r.rounds r.source_op))
+
+let speedup r = if r.tuned_us > 0.0 then r.baseline_us /. r.tuned_us else 1.0
+
+module J = Obs.Json
+
+let to_json r =
+  J.Assoc
+    [ ("schema", J.String schema);
+      ("format_version", J.Int format_version);
+      ("fingerprint", J.String r.fingerprint);
+      ("machine", J.String r.machine);
+      ("candidate", Candidate.to_json r.candidate);
+      ("baseline_us", J.Float r.baseline_us);
+      ("tuned_us", J.Float r.tuned_us);
+      ("seed", J.Int r.seed);
+      ("beam", J.Int r.beam);
+      ("rounds", J.Int r.rounds);
+      ("source_op", J.String r.source_op)
+    ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let str name =
+    match J.member name j with
+    | Some (J.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "tune record: missing field %S" name)
+  in
+  let int name =
+    match J.member name j with
+    | Some (J.Int i) -> Ok i
+    | _ -> Error (Printf.sprintf "tune record: missing field %S" name)
+  in
+  let flt name =
+    match J.member name j with
+    | Some (J.Float f) -> Ok f
+    | Some (J.Int i) -> Ok (float_of_int i)
+    | _ -> Error (Printf.sprintf "tune record: missing field %S" name)
+  in
+  let* s = str "schema" in
+  let* () = if s = schema then Ok () else Error "tune record: wrong schema" in
+  let* v = int "format_version" in
+  let* () =
+    if v = format_version then Ok ()
+    else Error (Printf.sprintf "tune record: format version %d, expected %d" v format_version)
+  in
+  let* fingerprint = str "fingerprint" in
+  let* machine = str "machine" in
+  let* candidate =
+    match J.member "candidate" j with
+    | Some c -> Candidate.of_json c
+    | None -> Error "tune record: missing field \"candidate\""
+  in
+  let* baseline_us = flt "baseline_us" in
+  let* tuned_us = flt "tuned_us" in
+  let* seed = int "seed" in
+  let* beam = int "beam" in
+  let* rounds = int "rounds" in
+  let* source_op = str "source_op" in
+  Ok { fingerprint; machine; candidate; baseline_us; tuned_us; seed; beam; rounds; source_op }

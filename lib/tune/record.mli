@@ -1,0 +1,52 @@
+(** A persisted tuning result: the best candidate found for one
+    (kernel-shape fingerprint, machine) pair.
+
+    Records are what survive a tuning run.  The search writes one per
+    corpus operator; [eval --tuned] and [network --tuned] (and the
+    compile service behind them) look records up by fingerprint and
+    machine, apply the stored candidate, and fold the record's
+    {!digest} into the compile-cache key so a re-tune invalidates
+    exactly the entries it changes.  A record whose candidate is the
+    baseline is still meaningful: it says the search ran and found
+    nothing better, and pins the baseline time it measured. *)
+
+type t = {
+  fingerprint : string;  (** {!Fingerprint.of_kernel} of the operator *)
+  machine : string;  (** {!Gpusim.Machine.t} profile name *)
+  candidate : Candidate.t;
+  baseline_us : float;  (** simulated time of {!Candidate.baseline} *)
+  tuned_us : float;  (** simulated time of [candidate]; [<= baseline_us] *)
+  seed : int;
+  beam : int;
+  rounds : int;
+  source_op : string;
+      (** operator name the record was tuned on, for reports only —
+          lookup goes by fingerprint, never by name *)
+}
+
+val schema : string
+(** ["akg-repro-tune-record"]. *)
+
+val format_version : int
+(** Bumped whenever the record payload or the meaning of the stored
+    candidate changes; old files then stop resolving instead of
+    steering the scheduler with stale data. *)
+
+val address : fingerprint:string -> machine:string -> string
+(** Content address a record is filed under: digest of (fingerprint,
+    machine, {!format_version}).  One slot per (shape, machine) — a
+    re-tune overwrites its predecessor. *)
+
+val digest : t -> string
+(** Digest of the full record contents (not just its address), used as
+    the ["tuned"] compile-cache flag: two records for the same slot but
+    different candidates or measurements digest differently. *)
+
+val speedup : t -> float
+(** [baseline_us /. tuned_us]; [1.0] when the baseline won. *)
+
+val to_json : t -> Obs.Json.t
+
+val of_json : Obs.Json.t -> (t, string) result
+(** Strict: wrong schema, wrong version, or any missing field is an
+    [Error]. *)

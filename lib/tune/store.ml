@@ -1,0 +1,105 @@
+let c_hits = Obs.Counters.create "tune.store_hits" ~doc:"tuning records found on disk"
+
+let c_misses = Obs.Counters.create "tune.store_misses" ~doc:"tuning-record lookups that missed"
+
+let c_stores = Obs.Counters.create "tune.store_writes" ~doc:"tuning records written"
+
+let c_corrupt =
+  Obs.Counters.create "tune.store_corrupt"
+    ~doc:"unreadable or stale tuning records treated as absent (not fatal)"
+
+type t = { dir : string }
+
+let default_dir = ".akg-tune"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_ dir =
+  mkdir_p dir;
+  { dir }
+
+let dir t = t.dir
+
+let path t ~fingerprint ~machine =
+  Filename.concat t.dir (Record.address ~fingerprint ~machine ^ ".json")
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let decode path contents =
+  match Obs.Json.of_string contents with
+  | Error _ ->
+    Obs.Counters.incr c_corrupt;
+    (try Sys.remove path with Sys_error _ -> ());
+    None
+  | Ok j -> (
+    match Record.of_json j with
+    | Ok r -> Some r
+    | Error _ ->
+      (* Stale format versions land here too: drop silently so a re-tune
+         refiles the slot. *)
+      Obs.Counters.incr c_corrupt;
+      (try Sys.remove path with Sys_error _ -> ());
+      None)
+
+let find t ~fingerprint ~machine =
+  let path = path t ~fingerprint ~machine in
+  match read_all path with
+  | exception Sys_error _ ->
+    Obs.Counters.incr c_misses;
+    None
+  | contents -> (
+    match decode path contents with
+    | Some r when r.Record.fingerprint = fingerprint && r.Record.machine = machine ->
+      Obs.Counters.incr c_hits;
+      Some r
+    | Some _ ->
+      Obs.Counters.incr c_corrupt;
+      (try Sys.remove path with Sys_error _ -> ());
+      Obs.Counters.incr c_misses;
+      None
+    | None ->
+      Obs.Counters.incr c_misses;
+      None)
+
+let store t r =
+  let path =
+    path t ~fingerprint:r.Record.fingerprint ~machine:r.Record.machine
+  in
+  let tmp = Filename.temp_file ~temp_dir:t.dir ".tune" ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc (Obs.Json.to_string (Record.to_json r)))
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path;
+  Obs.Counters.incr c_stores
+
+let records t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names
+    |> List.filter (fun n -> Filename.check_suffix n ".json")
+    |> List.filter_map (fun n ->
+           let path = Filename.concat t.dir n in
+           match read_all path with
+           | exception Sys_error _ -> None
+           | contents -> decode path contents)
+    |> List.sort (fun a b ->
+           match String.compare a.Record.machine b.Record.machine with
+           | 0 -> String.compare a.Record.fingerprint b.Record.fingerprint
+           | c -> c)
+
+let lookup t ~machine kernel =
+  find t ~fingerprint:(Fingerprint.of_kernel kernel) ~machine

@@ -1,0 +1,41 @@
+(** On-disk tuning-record store.
+
+    A flat directory of content-addressed JSON files (default
+    [.akg-tune]), one per (kernel-shape fingerprint, machine) slot —
+    see {!Record.address}.  Lookups degrade gracefully: an unreadable,
+    mistyped or stale-format file counts as "no record", so [--tuned]
+    falls back to the paper's fixed weights rather than failing.
+    Writes are atomic (temp file + rename), matching the compile
+    cache's crash discipline.
+
+    The store is opened and consulted on the coordinating domain only;
+    worker domains never touch it. *)
+
+type t
+
+val default_dir : string
+(** [".akg-tune"] — the directory [tune] writes and [--tuned] reads by
+    default. *)
+
+val open_ : string -> t
+(** Opens (creating if needed) a store rooted at the given directory. *)
+
+val dir : t -> string
+
+val find : t -> fingerprint:string -> machine:string -> Record.t option
+(** The record for this slot, or [None] if absent, unreadable, or of a
+    different format version.  Corrupt files are counted
+    ([tune.store_corrupt]) and left for the next {!store} to
+    overwrite. *)
+
+val store : t -> Record.t -> unit
+(** Files the record under its {!Record.address}, atomically replacing
+    any predecessor for the same slot. *)
+
+val records : t -> Record.t list
+(** Every readable record in the store, sorted by (machine,
+    fingerprint) for deterministic iteration. *)
+
+val lookup : t -> machine:string -> Ir.Kernel.t -> Record.t option
+(** {!find} keyed by {!Fingerprint.of_kernel} — the convenience used by
+    the [--tuned] code path. *)

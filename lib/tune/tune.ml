@@ -1,0 +1,7 @@
+module Fingerprint = Fingerprint
+module Candidate = Candidate
+module Record = Record
+module Store = Store
+module Oracle = Oracle
+module Search = Search
+module Corpus = Corpus

@@ -1,0 +1,23 @@
+(** Autotuning over the influence-tree space.
+
+    The paper fixes one cost-model weight vector (Section V) and one
+    branch order for the Algorithm-1 influence tree.  This library
+    searches over both: {!Candidate} is a point of that space,
+    {!Oracle} scores a candidate on an operator by running the real
+    tree → schedule → lower → simulate pipeline (memoized in the
+    compile cache), {!Search} beam-searches the space over a
+    {!Corpus}, and the winners persist as {!Record}s in a {!Store}
+    that [eval --tuned] and [network --tuned] read back.
+
+    The search never regresses: the baseline configuration is always
+    candidate zero, ties go to it, and per-operator winners must beat
+    it strictly — so applying tuning records can only preserve or
+    improve Table II.  See TUNING.md for the workflow. *)
+
+module Fingerprint = Fingerprint
+module Candidate = Candidate
+module Record = Record
+module Store = Store
+module Oracle = Oracle
+module Search = Search
+module Corpus = Corpus

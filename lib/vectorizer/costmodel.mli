@@ -7,16 +7,20 @@
     the affine scheduler through influence constraint trees instead of
     objective functions. *)
 
-type weights = {
+type weights = Weights.t = {
   w1 : float;  (** vectorizable stores *)
   w2 : float;  (** vectorizable loads *)
   w3 : float;  (** inverse minimum stride *)
   w4 : float;  (** accesses achieving the minimum stride *)
   w5 : float;  (** thread-budget contribution *)
 }
+(** Re-export of {!Weights.t}, the single source of truth for the weight
+    vector (tuning records and the autotuner manipulate {!Weights.t}
+    directly; the cost model keeps this alias so existing call sites and
+    record literals stay valid). *)
 
 val default_weights : weights
-(** The paper's best configuration: [w1 = 5, w2 = 3], others 1. *)
+(** {!Weights.default_paper}: [w1 = 5, w2 = 3], others 1. *)
 
 val stride : Ir.Kernel.t -> Ir.Stmt.t -> Ir.Access.t -> iter:string -> int
 (** Element-stride of the access when the iterator advances by one (the

@@ -1,0 +1,54 @@
+type t = {
+  w1 : float;
+  w2 : float;
+  w3 : float;
+  w4 : float;
+  w5 : float;
+}
+
+let default_paper = { w1 = 5.0; w2 = 3.0; w3 = 1.0; w4 = 1.0; w5 = 1.0 }
+
+let to_list w = [ w.w1; w.w2; w.w3; w.w4; w.w5 ]
+
+let of_list = function
+  | [ w1; w2; w3; w4; w5 ] -> Some { w1; w2; w3; w4; w5 }
+  | _ -> None
+
+let equal a b = to_list a = to_list b
+
+let compact f =
+  if Float.is_integer f && Float.abs f < 1e9 then string_of_int (int_of_float f)
+  else Printf.sprintf "%g" f
+
+let to_compact_string w =
+  Printf.sprintf "(%s)" (String.concat "," (List.map compact (to_list w)))
+
+let to_flag w = String.concat ";" (List.map (Printf.sprintf "%h") (to_list w))
+
+module J = Obs.Json
+
+let to_json w =
+  J.Assoc
+    [ ("w1", J.Float w.w1);
+      ("w2", J.Float w.w2);
+      ("w3", J.Float w.w3);
+      ("w4", J.Float w.w4);
+      ("w5", J.Float w.w5)
+    ]
+
+let of_json j =
+  let num k =
+    match J.member k j with
+    | Some (J.Float f) -> Ok f
+    | Some (J.Int i) -> Ok (float_of_int i)
+    | _ -> Error ("weights: missing number " ^ k)
+  in
+  let ( let* ) = Result.bind in
+  let* w1 = num "w1" in
+  let* w2 = num "w2" in
+  let* w3 = num "w3" in
+  let* w4 = num "w4" in
+  let* w5 = num "w5" in
+  Ok { w1; w2; w3; w4; w5 }
+
+let pp fmt w = Format.pp_print_string fmt (to_compact_string w)

@@ -1,0 +1,50 @@
+(** The cost-model weight vector [w1..w5] — single source of truth.
+
+    Every consumer of the Section V cost function goes through this type:
+    {!Costmodel} re-exports it as [Costmodel.weights], the scenario
+    builder and {!Treegen} thread it down unchanged, the autotuner
+    ([lib/tune]) searches over it, and tuning records persist it.  The
+    paper's fixed configuration lives here exactly once, as
+    {!default_paper}; prose documents (EXPERIMENTS.md, TUNING.md) quote
+    {!to_compact_string} of that value and a test pins the quotation, so
+    code and documentation cannot drift apart. *)
+
+type t = {
+  w1 : float;  (** vectorizable stores *)
+  w2 : float;  (** vectorizable loads *)
+  w3 : float;  (** inverse minimum stride *)
+  w4 : float;  (** accesses achieving the minimum stride *)
+  w5 : float;  (** thread-budget contribution *)
+}
+
+val default_paper : t
+(** The paper's best configuration: [w1 = 5, w2 = 3], others 1
+    (Section V's ablation winner). *)
+
+val equal : t -> t -> bool
+(** Bit-for-bit float equality — tuning treats weight vectors as search
+    points, not as approximate reals. *)
+
+val to_list : t -> float list
+(** [[w1; w2; w3; w4; w5]]. *)
+
+val of_list : float list -> t option
+(** Inverse of {!to_list}; [None] unless given exactly five floats. *)
+
+val to_compact_string : t -> string
+(** ["(5,3,1,1,1)"]-style rendering: integral weights print without a
+    decimal point — the form quoted by the documentation. *)
+
+val to_flag : t -> string
+(** Stable, collision-free textual form (hexadecimal floats) for cache-key
+    flags and tuning-record digests: equal vectors render equally,
+    nearly-equal ones never collide. *)
+
+val to_json : t -> Obs.Json.t
+
+val of_json : Obs.Json.t -> (t, string) result
+(** Strict inverse of {!to_json}: any missing or mistyped field is an
+    [Error], so stale tuning records fail to decode instead of silently
+    mis-weighting the cost model. *)
+
+val pp : Format.formatter -> t -> unit
