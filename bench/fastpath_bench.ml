@@ -1,0 +1,135 @@
+(* Fast-path scheduling benchmark: cold schedule time and exact-ILP solve
+   counts for the full network zoo under both scheduling strategies, and
+   writes the numbers to BENCH_PR7.json (schema akg-repro-bench-fastpath).
+
+   Usage:  dune exec bench/fastpath_bench.exe [OUT.json]
+
+   "Cold" means scheduling only — no compile cache, no lowering, no
+   simulation — each operator scheduled twice per strategy the way eval
+   does: once plain (the isl baseline) and once with the influence tree
+   injected (the infl version).  The ilp-only column is the pre-PR
+   baseline: it is exactly the solver this repository shipped before the
+   fast path existed, so keeping it in the file documents what the fast
+   path is being compared against.  Every schedule pair is asserted
+   row-identical across strategies before any timing is reported — a
+   benchmark of a diverging scheduler would be meaningless. *)
+
+module J = Obs.Json
+
+let out_file = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_PR7.json"
+
+type run = {
+  time_s : float;
+  ilp_solves : int;
+  hits : int;
+  fallbacks : int;
+  scheds : Scheduling.Schedule.t list;
+}
+
+let schedule_network ~strategy ops =
+  (* influence trees are strategy-independent input, not scheduling work —
+     build them outside the timed region so the ratio compares solvers *)
+  let jobs =
+    List.concat_map
+      (fun (_, k) -> [ (k, None); (k, Some (Vectorizer.Treegen.influence_for k)) ])
+      ops
+  in
+  let t0 = Unix.gettimeofday () in
+  let acc =
+    List.fold_left
+      (fun acc (k, influence) ->
+        let sched, stats, _ = Harness.Eval.timed_schedule ?influence ~strategy k in
+        { acc with
+          ilp_solves = acc.ilp_solves + stats.Scheduling.Scheduler.ilp_solves;
+          hits = acc.hits + stats.fastpath_hits;
+          fallbacks = acc.fallbacks + stats.fastpath_fallbacks;
+          scheds = sched :: acc.scheds
+        })
+      { time_s = 0.; ilp_solves = 0; hits = 0; fallbacks = 0; scheds = [] }
+      jobs
+  in
+  { acc with time_s = Unix.gettimeofday () -. t0 }
+
+let hit_rate r =
+  let attempts = r.hits + r.fallbacks in
+  if attempts = 0 then 0. else float_of_int r.hits /. float_of_int attempts
+
+let () =
+  let networks = Ops.Networks.all in
+  Printf.printf "fastpath bench: %d networks\n%!" (List.length networks);
+  let rows =
+    List.map
+      (fun (n : Ops.Networks.t) ->
+        let ops = Lazy.force n.Ops.Networks.ops in
+        let base = schedule_network ~strategy:`Ilp_only ops in
+        let fast = schedule_network ~strategy:`Fastpath_then_ilp ops in
+        List.iter2
+          (fun a b -> assert (Harness.Eval.rows_equal a b))
+          base.scheds fast.scheds;
+        let speedup = base.time_s /. fast.time_s in
+        Printf.printf
+          "  %-12s %3d ops  ilp-only %6.2f s / %5d solves   fastpath %6.2f s / %4d \
+           solves  %4.1fx  hit rate %.2f\n\
+           %!"
+          n.Ops.Networks.name (List.length ops) base.time_s base.ilp_solves
+          fast.time_s fast.ilp_solves speedup (hit_rate fast);
+        (n.Ops.Networks.name, List.length ops, base, fast, speedup))
+      networks
+  in
+  let geomean =
+    exp
+      (List.fold_left (fun s (_, _, _, _, sp) -> s +. log sp) 0. rows
+      /. float_of_int (List.length rows))
+  in
+  let total f = List.fold_left (fun s (_, _, b, fp, _) -> s + f b fp) 0 rows in
+  let solves_before = total (fun b _ -> b.ilp_solves) in
+  let solves_after = total (fun _ fp -> fp.ilp_solves) in
+  let hits = total (fun _ fp -> fp.hits) in
+  let fallbacks = total (fun _ fp -> fp.fallbacks) in
+  let overall_rate =
+    float_of_int hits /. float_of_int (max 1 (hits + fallbacks))
+  in
+  let solve_reduction =
+    1. -. (float_of_int solves_after /. float_of_int (max 1 solves_before))
+  in
+  Printf.printf
+    "  geomean cold-schedule speedup %.2fx; ilp solves %d -> %d (%.0f%% fewer); \
+     overall hit rate %.2f\n\
+     %!"
+    geomean solves_before solves_after (100. *. solve_reduction) overall_rate;
+  let doc =
+    J.Assoc
+      [ ("schema", J.String "akg-repro-bench-fastpath");
+        ("version", J.Int 1);
+        ("networks", J.Int (List.length rows));
+        ("geomean_speedup", J.Float geomean);
+        ("ilp_solves_baseline", J.Int solves_before);
+        ("ilp_solves_fastpath", J.Int solves_after);
+        ("ilp_solve_reduction", J.Float solve_reduction);
+        ("fastpath_hit_rate", J.Float overall_rate);
+        ("fastpath_hits", J.Int hits);
+        ("fastpath_fallbacks", J.Int fallbacks);
+        ( "per_network",
+          J.List
+            (List.map
+               (fun (name, ops, b, fp, sp) ->
+                 J.Assoc
+                   [ ("network", J.String name);
+                     ("ops", J.Int ops);
+                     ("baseline_s", J.Float b.time_s);
+                     ("baseline_ilp_solves", J.Int b.ilp_solves);
+                     ("fastpath_s", J.Float fp.time_s);
+                     ("fastpath_ilp_solves", J.Int fp.ilp_solves);
+                     ("fastpath_hits", J.Int fp.hits);
+                     ("fastpath_fallbacks", J.Int fp.fallbacks);
+                     ("fastpath_hit_rate", J.Float (hit_rate fp));
+                     ("speedup", J.Float sp)
+                   ])
+               rows) )
+      ]
+  in
+  let oc = open_out out_file in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out_file

@@ -215,14 +215,33 @@ let version_arg =
   let doc = "Compiler version: isl (baseline), novec, or infl." in
   Arg.(value & opt version_conv Infl & info [ "version"; "v" ] ~doc)
 
-let compile version k =
+let strategy_arg =
+  let doc =
+    "Scheduling strategy: $(b,fastpath-then-ilp) (the default; dimension-matching fast \
+     path with exact-ILP fallback) or $(b,ilp-only) (solve every dimension with the \
+     exact ILP).  Both produce identical schedules; the fast path only changes how \
+     long scheduling takes."
+  in
+  Arg.(
+    value
+    & opt
+        (enum [ ("fastpath-then-ilp", `Fastpath_then_ilp); ("ilp-only", `Ilp_only) ])
+        Scheduling.Scheduler.default_config.Scheduling.Scheduler.strategy
+    & info [ "strategy" ] ~docv:"S" ~doc)
+
+let compile ?strategy version k =
+  let config =
+    match strategy with
+    | None -> Scheduling.Scheduler.default_config
+    | Some strategy -> { Scheduling.Scheduler.default_config with strategy }
+  in
   match version with
   | Isl ->
-    let sched, stats = Scheduling.Scheduler.schedule k in
+    let sched, stats = Scheduling.Scheduler.schedule ~config k in
     (sched, stats, Codegen.Compile.lower ~vectorize:false sched k)
   | Novec | Infl ->
     let tree = Vectorizer.Treegen.influence_for k in
-    let sched, stats = Scheduling.Scheduler.schedule ~influence:tree k in
+    let sched, stats = Scheduling.Scheduler.schedule ~config ~influence:tree k in
     let vectorize = version = Infl in
     (sched, stats, Codegen.Compile.lower ~vectorize sched k)
 
@@ -262,7 +281,7 @@ let schedule_cmd =
   let tree_flag =
     Arg.(value & flag & info [ "tree" ] ~doc:"Also print the influence constraint tree.")
   in
-  let run name version tree verbose o =
+  let run name version strategy tree verbose o =
     setup_logs verbose;
     with_obs o @@ fun () ->
     with_op
@@ -270,13 +289,15 @@ let schedule_cmd =
         (if tree && version <> Isl then
            Format.printf "influence tree:@.%a@." Scheduling.Influence.pp
              (Vectorizer.Treegen.influence_for k));
-        let sched, stats, _ = compile version k in
+        let sched, stats, _ = compile ~strategy version k in
         Format.printf "%a@." Scheduling.Schedule.pp sched;
         Format.printf
           "stats: %d ILP solves, %d loop dims, %d scalar dims, %d sibling moves, %d backtracks, %d SCC separations, abandoned %b@."
           stats.Scheduling.Scheduler.ilp_solves stats.loop_dims stats.scalar_dims
           stats.sibling_moves stats.ancestor_backtracks stats.scc_separations
           stats.influence_abandoned;
+        Format.printf "fast path: %d hits, %d fallbacks (%d validity rejects)@."
+          stats.fastpath_hits stats.fastpath_fallbacks stats.fastpath_validity_rejects;
         match
           Scheduling.Legality.check sched k (Deps.Analysis.dependences k)
         with
@@ -285,7 +306,9 @@ let schedule_cmd =
       name
   in
   Cmd.v (Cmd.info "schedule" ~doc:"Schedule an operator and check legality")
-    Term.(const run $ op_arg $ version_arg $ tree_flag $ verbose_arg $ obs_term)
+    Term.(
+      const run $ op_arg $ version_arg $ strategy_arg $ tree_flag $ verbose_arg
+      $ obs_term)
 
 let codegen_cmd =
   let run name version o =
@@ -313,14 +336,15 @@ let simulate_cmd =
     Term.(const run $ op_arg $ version_arg $ obs_term)
 
 let eval_cmd =
-  let run name jobs cache tuned o =
+  let run name jobs cache tuned strategy o =
     with_obs o @@ fun () ->
     with_op
       (fun k ->
         let r =
           match
             Service.Batch.evaluate_suite ?cache:(open_cache cache)
-              ?tuned:(tuned_lookup tuned) ~jobs:(resolve_jobs jobs) [ (name, k) ]
+              ?tuned:(tuned_lookup tuned) ~strategy ~jobs:(resolve_jobs jobs)
+              [ (name, k) ]
           with
           | [ r ] -> r
           | _ -> assert false
@@ -334,7 +358,7 @@ let eval_cmd =
       name
   in
   Cmd.v (Cmd.info "eval" ~doc:"Compare the four compiler versions on one operator")
-    Term.(const run $ op_arg $ jobs_arg $ cache_arg $ tuned_arg $ obs_term)
+    Term.(const run $ op_arg $ jobs_arg $ cache_arg $ tuned_arg $ strategy_arg $ obs_term)
 
 let check_cmd =
   let run name o =
@@ -431,7 +455,7 @@ let tune_cmd =
     let doc = "Directory tuning records are persisted in." in
     Arg.(value & opt string Tune.Store.default_dir & info [ "out" ] ~docv:"DIR" ~doc)
   in
-  let run beam rounds seed corpus count ops out jobs cache o =
+  let run beam rounds seed corpus count ops out jobs cache strategy o =
     with_obs o @@ fun () ->
     let corpus =
       Tune.Corpus.restrict ops
@@ -446,7 +470,7 @@ let tune_cmd =
     else begin
       let config = { Tune.Search.beam; rounds; seed } in
       let result =
-        Tune.Search.run ?cache:(open_cache cache) ~jobs:(resolve_jobs jobs)
+        Tune.Search.run ?cache:(open_cache cache) ~strategy ~jobs:(resolve_jobs jobs)
           ~progress:(fun line -> Format.eprintf "  %s@." line)
           config corpus
       in
@@ -482,7 +506,7 @@ let tune_cmd =
          ])
     Term.(
       const run $ beam_arg $ rounds_arg $ seed_arg $ corpus_arg $ count_arg $ ops_arg
-      $ out_arg $ jobs_arg $ cache_arg $ obs_term)
+      $ out_arg $ jobs_arg $ cache_arg $ strategy_arg $ obs_term)
 
 let network_cmd =
   let name_arg =
@@ -494,13 +518,13 @@ let network_cmd =
     let doc = "Evaluate every network suite: the full Table II plus the geomean line." in
     Arg.(value & flag & info [ "all" ] ~doc)
   in
-  let run name all jobs cache tuned o =
+  let run name all jobs cache tuned strategy o =
     with_obs o @@ fun () ->
     let jobs = resolve_jobs jobs in
     let cache = open_cache cache in
     let tuned = tuned_lookup tuned in
     let evaluate (n : Ops.Networks.t) =
-      Service.Batch.evaluate_suite ?cache ?tuned ~jobs
+      Service.Batch.evaluate_suite ?cache ?tuned ~strategy ~jobs
         ~progress:(fun op -> Format.eprintf "  %s@." op)
         (Lazy.force n.Ops.Networks.ops)
     in
@@ -537,7 +561,9 @@ let network_cmd =
        ~doc:
          "Evaluate network suites (Table II rows); --jobs shards, --cache persists, \
           --tuned applies tuning records")
-    Term.(const run $ name_arg $ all_arg $ jobs_arg $ cache_arg $ tuned_arg $ obs_term)
+    Term.(
+      const run $ name_arg $ all_arg $ jobs_arg $ cache_arg $ tuned_arg $ strategy_arg
+      $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* the compile service over stdin/stdout                                *)
@@ -622,11 +648,11 @@ let fuzz_cmd =
     Arg.(value & opt float Fuzz.Generate.default_config.Fuzz.Generate.skew
          & info [ "skew" ] ~docv:"P" ~doc)
   in
-  let run seed count replay out max_stmts max_rank max_extent skew jobs o =
+  let run seed count replay out max_stmts max_rank max_extent skew jobs strategy o =
     with_obs o @@ fun () ->
     match replay with
     | Some file -> (
-      match Fuzz.replay file with
+      match Fuzz.replay ~strategy file with
       | Error e ->
         Format.eprintf "fuzz: %s@." e;
         2
@@ -648,7 +674,8 @@ let fuzz_cmd =
           (match r.Fuzz.file with Some f -> "\n  replay file: " ^ f | None -> "")
       in
       let report =
-        Fuzz.run ~config ~out_dir:out ~progress ~jobs:(resolve_jobs jobs) ~seed ~count ()
+        Fuzz.run ~config ~out_dir:out ~strategy ~progress ~jobs:(resolve_jobs jobs)
+          ~seed ~count ()
       in
       let nfail = List.length report.Fuzz.failures in
       Format.printf "fuzz: %d cases, %d failures (seed %d)@." report.Fuzz.count nfail
@@ -663,7 +690,7 @@ let fuzz_cmd =
           well-formedness; failures are shrunk to minimal replayable cases")
     Term.(
       const run $ seed_arg $ count_arg $ replay_arg $ out_arg $ max_stmts_arg
-      $ max_rank_arg $ max_extent_arg $ skew_arg $ jobs_arg $ obs_term)
+      $ max_rank_arg $ max_extent_arg $ skew_arg $ jobs_arg $ strategy_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* trace analytics: report / diff                                       *)

@@ -93,15 +93,17 @@ let guard version stage f =
   try f ()
   with e -> Error { version; stage; message = Printexc.to_string e }
 
-let check_version ?(perturb = fun _ s -> s) k deps version =
+let check_version ?(perturb = fun _ s -> s)
+    ?(strategy = Scheduling.Scheduler.default_config.strategy) k deps version =
+  let config = { Scheduling.Scheduler.default_config with strategy } in
   let* sched =
     guard version Schedule (fun () ->
         let s =
           match version with
-          | Isl -> fst (Scheduling.Scheduler.schedule k)
+          | Isl -> fst (Scheduling.Scheduler.schedule ~config k)
           | Novec | Infl ->
             let tree = Vectorizer.Treegen.influence_for k in
-            fst (Scheduling.Scheduler.schedule ~influence:tree k)
+            fst (Scheduling.Scheduler.schedule ~config ~influence:tree k)
         in
         Ok (perturb version s))
   in
@@ -135,13 +137,14 @@ let check_version ?(perturb = fun _ s -> s) k deps version =
                 (Interp.max_abs_diff m1 m2)
           })
 
-let run ?perturb k =
+let run ?perturb ?strategy k =
   let* deps = guard Isl Schedule (fun () -> Ok (Deps.Analysis.dependences k)) in
   List.fold_left
-    (fun acc v -> match acc with Error _ -> acc | Ok () -> check_version ?perturb k deps v)
+    (fun acc v ->
+      match acc with Error _ -> acc | Ok () -> check_version ?perturb ?strategy k deps v)
     (Ok ()) versions
 
-let run_case ?perturb case =
+let run_case ?perturb ?strategy case =
   match Case.to_kernel case with
   | Error m -> Error { version = Isl; stage = Convert; message = m }
-  | Ok k -> run ?perturb k
+  | Ok k -> run ?perturb ?strategy k

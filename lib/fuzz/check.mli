@@ -35,14 +35,17 @@ val well_formed : Codegen.Compile.compiled -> (unit, string) result
 
 val run :
   ?perturb:(version -> Scheduling.Schedule.t -> Scheduling.Schedule.t) ->
+  ?strategy:Scheduling.Scheduler.strategy ->
   Ir.Kernel.t ->
   (unit, failure) result
 (** Pushes the kernel through all three versions; [perturb] rewrites each
     computed schedule before validation and lowering (the hook tests use
-    to inject a deliberately-broken scheduler). *)
+    to inject a deliberately-broken scheduler); [strategy] selects the
+    scheduling strategy (default: the scheduler's default). *)
 
 val run_case :
   ?perturb:(version -> Scheduling.Schedule.t -> Scheduling.Schedule.t) ->
+  ?strategy:Scheduling.Scheduler.strategy ->
   Case.t ->
   (unit, failure) result
 (** {!Case.to_kernel} followed by {!run}; conversion errors surface as a

@@ -39,6 +39,7 @@ val run :
   ?config:Generate.config ->
   ?out_dir:string ->
   ?perturb:(Check.version -> Scheduling.Schedule.t -> Scheduling.Schedule.t) ->
+  ?strategy:Scheduling.Scheduler.strategy ->
   ?progress:(failure_report -> unit) ->
   ?jobs:int ->
   seed:int ->
@@ -69,6 +70,7 @@ val load_case : string -> (Case.t * Check.failure, string) result
 
 val replay :
   ?perturb:(Check.version -> Scheduling.Schedule.t -> Scheduling.Schedule.t) ->
+  ?strategy:Scheduling.Scheduler.strategy ->
   string ->
   (Case.t * (unit, Check.failure) result, string) result
 (** Loads a replay file and re-runs the differential check on its case:

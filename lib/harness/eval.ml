@@ -5,6 +5,8 @@ type sched_obs = {
   ancestor_backtracks : int;
   scc_separations : int;
   abandoned : bool;
+  fastpath_hits : int;
+  fastpath_fallbacks : int;
   sched_s : float;
 }
 
@@ -46,10 +48,15 @@ let rec has_vector_loop = function
 
 (* Runs the scheduler while measuring wall time and the branch-and-bound
    node delta it caused, turning its per-run stats into a [sched_obs]. *)
-let timed_schedule ?influence kernel =
+let timed_schedule ?influence ?strategy kernel =
+  let config =
+    match strategy with
+    | None -> Scheduling.Scheduler.default_config
+    | Some strategy -> { Scheduling.Scheduler.default_config with strategy }
+  in
   let bb0 = Obs.Counters.find "ilp.bb_nodes" in
   let (sched, stats), sched_s =
-    Obs.Span.timed (fun () -> Scheduling.Scheduler.schedule ?influence kernel)
+    Obs.Span.timed (fun () -> Scheduling.Scheduler.schedule ~config ?influence kernel)
   in
   let obs =
     { ilp_solves = stats.Scheduling.Scheduler.ilp_solves;
@@ -58,6 +65,8 @@ let timed_schedule ?influence kernel =
       ancestor_backtracks = stats.ancestor_backtracks;
       scc_separations = stats.scc_separations;
       abandoned = stats.influence_abandoned;
+      fastpath_hits = stats.fastpath_hits;
+      fastpath_fallbacks = stats.fastpath_fallbacks;
       sched_s
     }
   in
@@ -77,12 +86,12 @@ let influence_with ?tuning kernel =
      | None -> tree
      | Some order -> Scheduling.Influence.select order tree)
 
-let evaluate_op ?(machine = Gpusim.Machine.v100) ?tuning ~name kernel =
+let evaluate_op ?(machine = Gpusim.Machine.v100) ?tuning ?strategy ~name kernel =
   Obs.Span.with_ "harness.op" @@ fun () ->
   Obs.Trace.emitf "harness.op_start" (fun () -> [ ("op", Obs.Json.String name) ]);
-  let isl_sched, _, isl_obs = timed_schedule kernel in
+  let isl_sched, _, isl_obs = timed_schedule ?strategy kernel in
   let tree, tree_s = Obs.Span.timed (fun () -> influence_with ?tuning kernel) in
-  let infl_sched, infl_stats, infl_obs = timed_schedule ~influence:tree kernel in
+  let infl_sched, infl_stats, infl_obs = timed_schedule ~influence:tree ?strategy kernel in
   let lower_s = ref 0.0 and sim_s = ref 0.0 in
   let lower f =
     let r, dt = Obs.Span.timed f in
@@ -143,6 +152,8 @@ let evaluate_op ?(machine = Gpusim.Machine.v100) ?tuning ~name kernel =
         ("vec", Obs.Json.Bool r.vec);
         ("isl_ilp_solves", Obs.Json.Int isl_obs.ilp_solves);
         ("infl_ilp_solves", Obs.Json.Int infl_obs.ilp_solves);
+        ( "fastpath_hits",
+          Obs.Json.Int (isl_obs.fastpath_hits + infl_obs.fastpath_hits) );
         ("infl_bb_nodes", Obs.Json.Int infl_obs.bb_nodes);
         ("sibling_moves", Obs.Json.Int infl_obs.sibling_moves);
         ("ancestor_backtracks", Obs.Json.Int infl_obs.ancestor_backtracks);
@@ -154,12 +165,12 @@ let evaluate_op ?(machine = Gpusim.Machine.v100) ?tuning ~name kernel =
       ]);
   r
 
-let evaluate_suite ?machine ?(progress = fun _ -> ()) ?tuning_for ops =
+let evaluate_suite ?machine ?(progress = fun _ -> ()) ?tuning_for ?strategy ops =
   List.map
     (fun (name, kernel) ->
       progress name;
       let tuning = Option.bind tuning_for (fun f -> f name kernel) in
-      evaluate_op ?machine ?tuning ~name kernel)
+      evaluate_op ?machine ?tuning ?strategy ~name kernel)
     ops
 
 (* ------------------------------------------------------------------ *)
@@ -176,6 +187,8 @@ let sched_obs_to_json (s : sched_obs) =
       ("ancestor_backtracks", J.Int s.ancestor_backtracks);
       ("scc_separations", J.Int s.scc_separations);
       ("abandoned", J.Bool s.abandoned);
+      ("fastpath_hits", J.Int s.fastpath_hits);
+      ("fastpath_fallbacks", J.Int s.fastpath_fallbacks);
       ("sched_s", J.Float s.sched_s)
     ]
 
@@ -219,9 +232,11 @@ let result_of_json j =
       let* ancestor_backtracks = int "ancestor_backtracks" s in
       let* scc_separations = int "scc_separations" s in
       let* abandoned = bool "abandoned" s in
+      let* fastpath_hits = int "fastpath_hits" s in
+      let* fastpath_fallbacks = int "fastpath_fallbacks" s in
       let* sched_s = num "sched_s" s in
       Ok { ilp_solves; bb_nodes; sibling_moves; ancestor_backtracks; scc_separations;
-           abandoned; sched_s }
+           abandoned; fastpath_hits; fastpath_fallbacks; sched_s }
   in
   let* op_name = str "op" j in
   let* isl_us = num "isl_us" j in

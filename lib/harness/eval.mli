@@ -19,6 +19,8 @@ type sched_obs = {
   ancestor_backtracks : int;
   scc_separations : int;
   abandoned : bool;
+  fastpath_hits : int;  (** dimensions committed by the sub-ILP fast path *)
+  fastpath_fallbacks : int;  (** fast-path attempts that fell back to ILP *)
   sched_s : float;  (** wall-clock seconds spent scheduling *)
 }
 (** Scheduler-internal statistics of one {!Scheduling.Scheduler.schedule}
@@ -63,9 +65,24 @@ val influence_with : ?tuning:tuning -> Ir.Kernel.t -> Scheduling.Influence.t
     weights and natural branch order when [tuning] is absent — the
     fixed-configuration fallback for operators without a tuning record. *)
 
+val rows_equal : Scheduling.Schedule.t -> Scheduling.Schedule.t -> bool
+(** Structural equality of two schedules' rows (kind-insensitive, exact
+    coefficient comparison) — the check behind the {e influenced} flag and
+    the fast-path differential suite. *)
+
+val timed_schedule :
+  ?influence:Scheduling.Influence.t ->
+  ?strategy:Scheduling.Scheduler.strategy ->
+  Ir.Kernel.t ->
+  Scheduling.Schedule.t * Scheduling.Scheduler.stats * sched_obs
+(** One scheduler run under the default config (with [strategy]
+    substituted when given), timed and with its branch-and-bound node
+    delta attributed. *)
+
 val evaluate_op :
   ?machine:Gpusim.Machine.t ->
   ?tuning:tuning ->
+  ?strategy:Scheduling.Scheduler.strategy ->
   name:string ->
   Ir.Kernel.t ->
   op_result
@@ -74,6 +91,7 @@ val evaluate_suite :
   ?machine:Gpusim.Machine.t ->
   ?progress:(string -> unit) ->
   ?tuning_for:(string -> Ir.Kernel.t -> tuning option) ->
+  ?strategy:Scheduling.Scheduler.strategy ->
   (string * Ir.Kernel.t) list ->
   op_result list
 

@@ -72,6 +72,37 @@ let mem env = function
   | Bottom -> false
   | Set cs -> List.for_all (Constr.holds env) cs
 
+(* Sign checks of one affine form over the whole set.  These are the
+   building blocks of the scheduler's sub-ILP fast path: a concrete
+   candidate hyperplane is checked against each dependence relation
+   directly, with at most one small LP per relation, instead of
+   Farkas-expanding a symbolic form into a full coefficient tableau.
+   Constant forms — the overwhelmingly common case for identity-like
+   candidate rows, where the dependence distance simplifies to a literal
+   number — are decided without touching the simplex at all. *)
+
+let nonneg_on p e =
+  match p with
+  | Bottom -> true
+  | Set cs ->
+    if Linexpr.is_const e then
+      Polybase.Q.sign (Linexpr.constant e) >= 0 || not (Simplex.is_feasible cs)
+    else (
+      match Simplex.minimize cs e with
+      | Simplex.Infeasible -> true
+      | Simplex.Unbounded -> false
+      | Simplex.Optimal (v, _) -> Polybase.Q.sign v >= 0)
+
+let nonpos_on p e = nonneg_on p (Linexpr.neg e)
+
+let zero_on p e =
+  match p with
+  | Bottom -> true
+  | Set cs ->
+    if Linexpr.is_const e then
+      Polybase.Q.is_zero (Linexpr.constant e) || not (Simplex.is_feasible cs)
+    else nonneg_on p e && nonpos_on p e
+
 let equal_syntactic a b =
   match (a, b) with
   | Bottom, Bottom -> true

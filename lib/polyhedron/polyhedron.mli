@@ -34,6 +34,22 @@ val maximum : t -> Linexpr.t -> [ `Empty | `Unbounded | `Value of Q.t ]
 val mem : (string -> Q.t) -> t -> bool
 (** Whether a point satisfies all constraints. *)
 
+val nonneg_on : t -> Linexpr.t -> bool
+(** [nonneg_on p e] — whether [e >= 0] holds at every point of [p]
+    (vacuously true when [p] is empty).  Constant expressions are decided
+    syntactically; otherwise the answer is one LP minimization over [p]'s
+    constraints.  Unlike {!Farkas}-based encodings this never builds a
+    coefficient tableau, which is what makes it cheap enough for the
+    scheduler's sub-ILP fast path to call per dependence and per
+    candidate. *)
+
+val nonpos_on : t -> Linexpr.t -> bool
+(** [nonpos_on p e] is [nonneg_on p (-e)]. *)
+
+val zero_on : t -> Linexpr.t -> bool
+(** [zero_on p e] — whether [e = 0] at every point of [p] (vacuously true
+    on the empty set).  At most two LPs; zero for constant [e]. *)
+
 val equal_syntactic : t -> t -> bool
 
 val pp : Format.formatter -> t -> unit

@@ -1,6 +1,17 @@
 open Polybase
 open Polyhedra
 
+type strategy = [ `Fastpath_then_ilp | `Ilp_only ]
+
+let strategy_name = function
+  | `Fastpath_then_ilp -> "fastpath-then-ilp"
+  | `Ilp_only -> "ilp-only"
+
+let strategy_of_name = function
+  | "fastpath-then-ilp" -> Some `Fastpath_then_ilp
+  | "ilp-only" -> Some `Ilp_only
+  | _ -> None
+
 type config = {
   coef_bound : int;
   const_bound : int;
@@ -8,12 +19,13 @@ type config = {
   include_input_proximity : bool;
   feautrier_fallback : bool;
   ilp_cache_entries : int;
+  strategy : strategy;
 }
 
 let default_config =
   { coef_bound = 4; const_bound = 4; max_ilp_nodes = 200_000;
     include_input_proximity = false; feautrier_fallback = false;
-    ilp_cache_entries = 512 }
+    ilp_cache_entries = 512; strategy = `Fastpath_then_ilp }
 
 type stats = {
   mutable ilp_solves : int;
@@ -25,6 +37,9 @@ type stats = {
   mutable ancestor_backtracks : int;
   mutable scc_separations : int;
   mutable influence_abandoned : bool;
+  mutable fastpath_hits : int;
+  mutable fastpath_fallbacks : int;
+  mutable fastpath_validity_rejects : int;
 }
 
 exception Failure_no_schedule of string
@@ -70,6 +85,18 @@ let c_cache_misses =
 let c_cache_evictions =
   Obs.Counters.create "scheduler.ilp_cache_evictions"
     ~doc:"memoized ILP entries dropped by the per-schedule cache cap"
+
+let c_fastpath_hits =
+  Obs.Counters.create "scheduler.fastpath_hits"
+    ~doc:"dimensions committed by the sub-ILP fast path"
+
+let c_fastpath_fallbacks =
+  Obs.Counters.create "scheduler.fastpath_fallbacks"
+    ~doc:"fast-path attempts that fell back to the exact ILP"
+
+let c_fastpath_validity_rejects =
+  Obs.Counters.create "scheduler.fastpath_validity_rejects"
+    ~doc:"fast-path candidates rejected by a validity/coincidence/proximity check"
 
 (* Depth-first cursor into the influence tree.  [parents] holds, innermost
    first, the remaining (lower-priority) siblings of each ancestor together
@@ -183,7 +210,8 @@ let schedule ?(config = default_config) ?(influence = Influence.empty) kernel =
   let stats =
     { ilp_solves = 0; loop_dims = 0; scalar_dims = 0; coincidence_failures = 0;
       band_ends = 0; sibling_moves = 0; ancestor_backtracks = 0;
-      scc_separations = 0; influence_abandoned = false }
+      scc_separations = 0; influence_abandoned = false;
+      fastpath_hits = 0; fastpath_fallbacks = 0; fastpath_validity_rejects = 0 }
   in
   let stmts = kernel.Ir.Kernel.stmts in
   let stmt_names = List.map (fun (s : Ir.Stmt.t) -> s.Ir.Stmt.name) stmts in
@@ -433,6 +461,62 @@ let schedule ?(config = default_config) ?(influence = Influence.empty) kernel =
           feautrier (List.length constraints)
           (match result with Some _ -> "solution" | None -> "infeasible"));
     result
+  in
+
+  (* Sub-ILP fast path: build the provably-optimal candidate for this
+     dimension and check it against the dependence relations directly; on
+     any reject, fall back to the exact ILP for this dimension only.  An
+     accepted candidate is the ILP's unique lexicographic optimum (see
+     {!Fastpath}), so both strategies commit bit-identical rows. *)
+  let fastpath ~coincident ~with_progression ~infl_cs ~infl_objs () =
+    if config.strategy <> `Fastpath_then_ilp then None
+    else begin
+      let problem =
+        { Fastpath.stmts; params; dim = loop_ordinal ();
+          coef_bound = config.coef_bound; const_bound = config.const_bound;
+          with_progression; prev_rows = stmt_iter_matrix;
+          dstates; dsat; pstates; psat
+        }
+      in
+      let outcome, fp_s =
+        Obs.Span.timed (fun () -> Fastpath.attempt ~coincident ~infl_cs ~infl_objs problem)
+      in
+      (match outcome with
+       | Ok _ ->
+         stats.fastpath_hits <- stats.fastpath_hits + 1;
+         Obs.Counters.incr c_fastpath_hits
+       | Error r ->
+         stats.fastpath_fallbacks <- stats.fastpath_fallbacks + 1;
+         Obs.Counters.incr c_fastpath_fallbacks;
+         if Fastpath.is_validity_reject r then begin
+           stats.fastpath_validity_rejects <- stats.fastpath_validity_rejects + 1;
+           Obs.Counters.incr c_fastpath_validity_rejects
+         end);
+      Obs.Trace.emitf "scheduler.fastpath" (fun () ->
+          [ ("kernel", Obs.Json.String kernel.Ir.Kernel.name);
+            ("dim", Obs.Json.Int (loop_ordinal ()));
+            ("coincident", Obs.Json.Bool coincident);
+            ("hit", Obs.Json.Bool (Result.is_ok outcome));
+            ( "reject",
+              Obs.Json.String
+                (match outcome with
+                 | Ok _ -> ""
+                 | Error r -> Fastpath.reject_to_string r) );
+            ("dur_us", Obs.Json.Float (fp_s *. 1e6))
+          ]);
+      match outcome with
+      | Ok point -> Some point
+      | Error r ->
+        Log.debug (fun m ->
+            m "dim %d fastpath: coincident=%b -> fallback (%s)" (loop_ordinal ())
+              coincident (Fastpath.reject_to_string r));
+        None
+    end
+  in
+  let attempt ~coincident ~with_progression ~infl_cs ~infl_objs () =
+    match fastpath ~coincident ~with_progression ~infl_cs ~infl_objs () with
+    | Some a -> Some a
+    | None -> solve ~coincident ~with_progression ~infl_cs ~infl_objs ()
   in
 
   let restrict_actives row =
@@ -703,7 +787,7 @@ let schedule ?(config = default_config) ?(influence = Influence.empty) kernel =
           match infl with Some (Some (cs, objs)) -> (cs, objs) | _ -> ([], [])
         in
         let with_progression = not (unsat = [] && full) in
-        (match solve ~coincident:true ~with_progression ~infl_cs ~infl_objs () with
+        (match attempt ~coincident:true ~with_progression ~infl_cs ~infl_objs () with
          | Some a ->
            commit a ~coincident:true;
            step ()
@@ -714,7 +798,7 @@ let schedule ?(config = default_config) ?(influence = Influence.empty) kernel =
            | Some n ->
              if n.Influence.require_parallel then node_failure ()
              else (
-               match solve ~coincident:false ~with_progression ~infl_cs ~infl_objs () with
+               match attempt ~coincident:false ~with_progression ~infl_cs ~infl_objs () with
                | Some a ->
                  commit a ~coincident:false;
                  step ()
@@ -723,8 +807,16 @@ let schedule ?(config = default_config) ?(influence = Influence.empty) kernel =
              if scc_split () then step ()
              else (
                match
-                 solve ~feautrier:config.feautrier_fallback ~coincident:false
-                   ~with_progression ~infl_cs:[] ~infl_objs:[] ()
+                 (* Feautrier's slack objective changes what the dimension
+                    optimizes, so the zero-point candidate argument does
+                    not apply — only the plain distance-minimizing solve
+                    has a fast path. *)
+                 if config.feautrier_fallback then
+                   solve ~feautrier:true ~coincident:false ~with_progression
+                     ~infl_cs:[] ~infl_objs:[] ()
+                 else
+                   attempt ~coincident:false ~with_progression ~infl_cs:[]
+                     ~infl_objs:[] ()
                with
                | Some a ->
                  commit a ~coincident:false;
@@ -750,6 +842,8 @@ let schedule ?(config = default_config) ?(influence = Influence.empty) kernel =
         ("sibling_moves", Obs.Json.Int stats.sibling_moves);
         ("ancestor_backtracks", Obs.Json.Int stats.ancestor_backtracks);
         ("scc_separations", Obs.Json.Int stats.scc_separations);
-        ("abandoned", Obs.Json.Bool stats.influence_abandoned)
+        ("abandoned", Obs.Json.Bool stats.influence_abandoned);
+        ("fastpath_hits", Obs.Json.Int stats.fastpath_hits);
+        ("fastpath_fallbacks", Obs.Json.Int stats.fastpath_fallbacks)
       ]);
   (sched, stats)

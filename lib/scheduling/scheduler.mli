@@ -18,6 +18,22 @@
     and finally abandoning influence altogether, in which case the result
     is exactly the baseline schedule. *)
 
+type strategy = [ `Fastpath_then_ilp | `Ilp_only ]
+(** How each loop dimension is computed.  [`Ilp_only] always solves the
+    exact per-dimension ILP (the pre-fast-path behavior);
+    [`Fastpath_then_ilp] first tries the {!Fastpath} dimension-matching
+    candidate and falls back to the exact ILP — per dimension, not per
+    schedule — whenever the candidate is rejected.  Both strategies
+    produce bit-identical schedules (accepted candidates are the ILP's
+    unique lexicographic optimum); the fast path only changes how much
+    work finding them takes. *)
+
+val strategy_name : strategy -> string
+(** Stable textual name ("fastpath-then-ilp" / "ilp-only"), used by the
+    CLI [--strategy] flag and by service/tune cache keys. *)
+
+val strategy_of_name : string -> strategy option
+
 type config = {
   coef_bound : int;  (** upper bound on iterator/parameter coefficients *)
   const_bound : int;  (** upper bound on constant coefficients *)
@@ -38,6 +54,8 @@ type config = {
           counted by [scheduler.ilp_cache_evictions], so a backtracking
           blow-up inside a long-lived serve or fuzz process stays
           bounded. *)
+  strategy : strategy;
+      (** [`Fastpath_then_ilp] by default; see {!type:strategy}. *)
 }
 
 val default_config : config
@@ -52,6 +70,12 @@ type stats = {
   mutable ancestor_backtracks : int;
   mutable scc_separations : int;
   mutable influence_abandoned : bool;
+  mutable fastpath_hits : int;  (** dimensions committed without an ILP *)
+  mutable fastpath_fallbacks : int;
+      (** fast-path attempts that fell back to the exact ILP (a dimension
+          can contribute two: the coincident and the sequential attempt) *)
+  mutable fastpath_validity_rejects : int;
+      (** fallbacks whose candidate failed a semantic dependence check *)
 }
 
 exception Failure_no_schedule of string

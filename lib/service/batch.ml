@@ -10,12 +10,19 @@ let c_tuned =
   Obs.Counters.create "service.tuned_ops"
     ~doc:"suite operators evaluated under a tuning record"
 
-let eval_key ?tuned ~machine ~name kernel =
+let eval_key ?tuned ?(strategy = Scheduling.Scheduler.default_config.strategy)
+    ~machine ~name kernel =
   (* The tuning-record digest is part of the key: tuned and fixed-weight
      evaluations of the same kernel are different compile results, and a
-     record update invalidates exactly the entries it affects. *)
+     record update invalidates exactly the entries it affects.  The
+     scheduling strategy participates for the same reason — the schedules
+     are identical by construction, but the stored observability
+     (ilp_solves, fastpath counters, timings) is not, and a strategy
+     comparison run must never be answered from the other strategy's
+     entries. *)
   let flags =
     ("op", name)
+    :: ("strategy", Scheduling.Scheduler.strategy_name strategy)
     :: (match tuned with None -> [] | Some t -> [ ("tuned", t.digest) ])
   in
   Key.make ~kernel ~machine ~version:"eval" ~flags ()
@@ -23,7 +30,7 @@ let eval_key ?tuned ~machine ~name kernel =
 type source = Hit of Harness.Eval.op_result | Miss
 
 let evaluate_suite ?(machine = Gpusim.Machine.v100) ?(progress = fun _ -> ()) ?cache
-    ?tuned ?(jobs = 1) ops =
+    ?tuned ?strategy ?(jobs = 1) ops =
   let lookup name kernel =
     match tuned with
     | None -> None
@@ -39,7 +46,7 @@ let evaluate_suite ?(machine = Gpusim.Machine.v100) ?(progress = fun _ -> ()) ?c
         match cache with
         | None -> ((name, kernel, tuned), Miss)
         | Some c -> (
-          match Cache.find c (eval_key ?tuned ~machine ~name kernel) with
+          match Cache.find c (eval_key ?tuned ?strategy ~machine ~name kernel) with
           | None -> ((name, kernel, tuned), Miss)
           | Some payload -> (
             match Harness.Eval.result_of_json payload with
@@ -58,7 +65,7 @@ let evaluate_suite ?(machine = Gpusim.Machine.v100) ?(progress = fun _ -> ()) ?c
     Pool.map ~jobs
       (fun (name, kernel, tuned) ->
         let tuning = Option.map (fun t -> t.tuning) tuned in
-        Harness.Eval.evaluate_op ~machine ?tuning ~name kernel)
+        Harness.Eval.evaluate_op ~machine ?tuning ?strategy ~name kernel)
       misses
   in
   (match cache with
@@ -66,7 +73,7 @@ let evaluate_suite ?(machine = Gpusim.Machine.v100) ?(progress = fun _ -> ()) ?c
    | Some c ->
      List.iter2
        (fun (name, kernel, tuned) r ->
-         Cache.store c (eval_key ?tuned ~machine ~name kernel)
+         Cache.store c (eval_key ?tuned ?strategy ~machine ~name kernel)
            (Harness.Eval.result_to_json r))
        misses computed);
   let remaining = ref computed in

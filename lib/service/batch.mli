@@ -28,6 +28,7 @@ val evaluate_suite :
   ?progress:(string -> unit) ->
   ?cache:Cache.t ->
   ?tuned:(string -> Ir.Kernel.t -> tuning option) ->
+  ?strategy:Scheduling.Scheduler.strategy ->
   ?jobs:int ->
   (string * Ir.Kernel.t) list ->
   Harness.Eval.op_result list
@@ -41,7 +42,15 @@ val evaluate_suite :
     counts [service.tuned_ops]. *)
 
 val eval_key :
-  ?tuned:tuning -> machine:Gpusim.Machine.t -> name:string -> Ir.Kernel.t -> Key.t
+  ?tuned:tuning ->
+  ?strategy:Scheduling.Scheduler.strategy ->
+  machine:Gpusim.Machine.t ->
+  name:string ->
+  Ir.Kernel.t ->
+  Key.t
 (** The cache key of one operator's four-version evaluation (exposed for
     tests and cache tooling).  When a tuning record was applied its
-    digest is part of the key. *)
+    digest is part of the key, and the scheduling strategy (defaulting to
+    the scheduler's default) always is: both strategies produce the same
+    schedules, but the stored solver observability differs, so their
+    entries must never answer for each other. *)

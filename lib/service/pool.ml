@@ -35,9 +35,20 @@ let run_task f x =
   in
   { result; counters; spans; trace }
 
+(* Spawning is only worth it when there are real cores to spawn onto: on a
+   single-core host the domains time-slice the one core and the pool pays
+   scoped-capture and merge overhead for nothing (BENCH_PR5 measured
+   par_speedup 0.49 exactly this way).  Kept pure and parameterized on the
+   core count so the single-core branch is testable on any host. *)
+let parallelizable ?cores ~jobs n =
+  let cores =
+    match cores with Some c -> c | None -> Domain.recommended_domain_count ()
+  in
+  jobs > 1 && n > 1 && cores > 1
+
 let map ~jobs f xs =
   let n = List.length xs in
-  if jobs <= 1 || n <= 1 || Domain.DLS.get in_worker then
+  if (not (parallelizable ~jobs n)) || Domain.DLS.get in_worker then
     List.map
       (fun x ->
         Obs.Counters.incr c_tasks;

@@ -20,7 +20,18 @@
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — what [--jobs 0] resolves to. *)
 
+val parallelizable : ?cores:int -> jobs:int -> int -> bool
+(** [parallelizable ~jobs n] — whether [map ~jobs] over [n] tasks would
+    spawn worker domains.  False when [jobs <= 1], [n <= 1], or the host
+    has a single core ([cores], defaulting to
+    [Domain.recommended_domain_count ()], is [<= 1]) — time-slicing
+    domains on one core only adds scoped-capture and merge overhead (the
+    BENCH_PR5 [par_speedup 0.49] pathology).  Exposed with the [cores]
+    parameter so the single-core branch has a regression test on any
+    host. *)
+
 val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
-(** [jobs <= 1], singleton/empty input, or a call from inside a pool
-    worker (nested parallelism) degrade to a plain sequential [List.map]
-    on the current domain — same counters, same traces, no spawning. *)
+(** When {!parallelizable} is false for the input — or when called from
+    inside a pool worker (nested parallelism) — degrades to a plain
+    sequential [List.map] on the current domain: same counters, same
+    traces, no domain spawn, no scoped-capture merge. *)

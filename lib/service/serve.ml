@@ -27,18 +27,19 @@ let version_of_name = function
   | "infl" -> Some Infl
   | _ -> None
 
-let compile version kernel =
+let compile ~strategy version kernel =
+  let config = { Scheduling.Scheduler.default_config with strategy } in
   match version with
   | Isl ->
-    let sched, stats = Scheduling.Scheduler.schedule kernel in
+    let sched, stats = Scheduling.Scheduler.schedule ~config kernel in
     (sched, stats, Codegen.Compile.lower ~vectorize:false sched kernel)
   | Novec | Infl ->
     let tree = Vectorizer.Treegen.influence_for kernel in
-    let sched, stats = Scheduling.Scheduler.schedule ~influence:tree kernel in
+    let sched, stats = Scheduling.Scheduler.schedule ~config ~influence:tree kernel in
     (sched, stats, Codegen.Compile.lower ~vectorize:(version = Infl) sched kernel)
 
-let compile_report ~machine ~version ~op kernel =
-  let sched, stats, compiled = compile version kernel in
+let compile_report ~machine ~strategy ~version ~op kernel =
+  let sched, stats, compiled = compile ~strategy version kernel in
   let report = Gpusim.Sim.run ~machine compiled in
   let legal =
     match Scheduling.Legality.check sched kernel (Deps.Analysis.dependences kernel) with
@@ -52,6 +53,7 @@ let compile_report ~machine ~version ~op kernel =
     ("loop_dims", J.Int stats.Scheduling.Scheduler.loop_dims);
     ("scalar_dims", J.Int stats.Scheduling.Scheduler.scalar_dims);
     ("ilp_solves", J.Int stats.Scheduling.Scheduler.ilp_solves);
+    ("fastpath_hits", J.Int stats.Scheduling.Scheduler.fastpath_hits);
     ("abandoned", J.Bool stats.Scheduling.Scheduler.influence_abandoned);
     ("legal", J.Bool legal);
     ("time_us", J.Float (Gpusim.Sim.time_us report))
@@ -95,6 +97,17 @@ let handle_line h line =
         | None -> Error (Printf.sprintf "unknown machine %S" s))
       | Some _ -> Error "machine must be a string"
     in
+    let strategy =
+      match J.member "strategy" req with
+      | None -> Ok Scheduling.Scheduler.default_config.strategy
+      | Some (J.String s) -> (
+        match Scheduling.Scheduler.strategy_of_name s with
+        | Some st -> Ok st
+        | None ->
+          Error
+            (Printf.sprintf "unknown strategy %S (fastpath-then-ilp|ilp-only)" s))
+      | Some _ -> Error "strategy must be a string"
+    in
     let kernel =
       match (J.member "op" req, J.member "kernel" req) with
       | Some (J.String name), None -> (
@@ -112,17 +125,22 @@ let handle_line h line =
       | Some _, Some _ -> Error "give either op or kernel, not both"
       | None, None -> Error "request needs an op name or an inline kernel"
     in
-    match (version, machine, kernel) with
-    | Error e, _, _ | _, Error e, _ | _, _, Error e -> error e
-    | Ok version, Ok machine, Ok (op, kernel) -> (
+    match (version, machine, strategy, kernel) with
+    | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e ->
+      error e
+    | Ok version, Ok machine, Ok strategy, Ok (op, kernel) -> (
       let key =
         Key.make ~kernel ~machine ~version:(version_name version)
-          ~flags:[ ("entry", "serve"); ("op", op) ] ()
+          ~flags:
+            [ ("entry", "serve"); ("op", op);
+              ("strategy", Scheduling.Scheduler.strategy_name strategy)
+            ]
+          ()
       in
       match Option.bind h.cache (fun c -> Cache.find c key) with
       | Some (J.Assoc fields) -> ok ~cached:true ~digest:(Key.digest key) fields
       | Some _ | None -> (
-        match compile_report ~machine ~version ~op kernel with
+        match compile_report ~machine ~strategy ~version ~op kernel with
         | exception Scheduling.Scheduler.Failure_no_schedule msg ->
           error (Printf.sprintf "no schedule: %s" msg)
         | fields ->

@@ -7,17 +7,18 @@
     {"kernel": <fuzz-case JSON>, "version": "isl"}
     v}
     ["version"] defaults to ["infl"], ["machine"] to the handler's
-    default (V100).  Replies are one JSON object per line:
+    default (V100), ["strategy"] (["fastpath-then-ilp"] or ["ilp-only"])
+    to the scheduler's default.  Replies are one JSON object per line:
     [{"status":"ok","cached":B,"digest":D,"op":...,"version":...,
     "machine":...,"rows":N,"loop_dims":N,"scalar_dims":N,"ilp_solves":N,
-    "abandoned":B,"legal":B,"time_us":F}] on success, and
-    [{"status":"error","error":MSG}] for anything else — a malformed
+    "fastpath_hits":N,"abandoned":B,"legal":B,"time_us":F}] on success,
+    and [{"status":"error","error":MSG}] for anything else — a malformed
     request is a structured error reply, never a crash, and the loop
     keeps serving.
 
     With a {!Cache}, replies are stored keyed by
-    (kernel, machine, version, entry=serve) and repeated requests are
-    answered from disk with ["cached": true].
+    (kernel, machine, version, strategy, entry=serve) and repeated
+    requests are answered from disk with ["cached": true].
 
     Operator-name resolution and inline-kernel decoding are injected, so
     this module stays independent of the operator zoo and the fuzzer's

@@ -14,9 +14,13 @@ let c_failures =
   Obs.Counters.create "tune.eval_failures"
     ~doc:"oracle evaluations whose pipeline raised (candidate scored as unusable)"
 
-let key ~machine kernel candidate =
+let key ?(strategy = Scheduling.Scheduler.default_config.strategy) ~machine kernel
+    candidate =
   Service.Key.make
-    ~flags:[ ("entry", "tune"); ("candidate", Candidate.digest candidate) ]
+    ~flags:
+      [ ("entry", "tune"); ("candidate", Candidate.digest candidate);
+        ("strategy", Scheduling.Scheduler.strategy_name strategy)
+      ]
     ~kernel ~machine ~version:"tune-infl" ()
 
 module J = Obs.Json
@@ -68,7 +72,8 @@ let rec has_vector_loop = function
   | Codegen.Ast.VecExec _ -> true
   | Codegen.Ast.For l -> l.Codegen.Ast.step > 1 || has_vector_loop l.Codegen.Ast.body
 
-let compute ~machine kernel (c : Candidate.t) =
+let compute ?(strategy = Scheduling.Scheduler.default_config.strategy) ~machine kernel
+    (c : Candidate.t) =
   Obs.Span.with_ "tune.eval" @@ fun () ->
   Obs.Counters.incr c_evals;
   match
@@ -78,7 +83,8 @@ let compute ~machine kernel (c : Candidate.t) =
       | None -> tree
       | Some order -> Scheduling.Influence.select order tree
     in
-    let sched, stats = Scheduling.Scheduler.schedule ~influence:tree kernel in
+    let config = { Scheduling.Scheduler.default_config with strategy } in
+    let sched, stats = Scheduling.Scheduler.schedule ~config ~influence:tree kernel in
     let compiled =
       Codegen.Compile.lower ~vectorize:true ~vec_min_parallel:2048 sched kernel
     in
@@ -96,11 +102,11 @@ let compute ~machine kernel (c : Candidate.t) =
 
 let store cache k m = Service.Cache.store cache k (measurement_to_json m)
 
-let measure ?cache ~machine kernel candidate =
-  let k = key ~machine kernel candidate in
+let measure ?cache ?strategy ~machine kernel candidate =
+  let k = key ?strategy ~machine kernel candidate in
   match Option.bind cache (fun c -> find c k) with
   | Some m -> m
   | None ->
-    let m = compute ~machine kernel candidate in
+    let m = compute ?strategy ~machine kernel candidate in
     Option.iter (fun c -> store c k m) cache;
     m

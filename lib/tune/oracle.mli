@@ -21,9 +21,17 @@ type measurement = {
   influenced : bool;  (** scheduler accepted (some of) the influence tree *)
 }
 
-val key : machine:Gpusim.Machine.t -> Ir.Kernel.t -> Candidate.t -> Service.Key.t
+val key :
+  ?strategy:Scheduling.Scheduler.strategy ->
+  machine:Gpusim.Machine.t ->
+  Ir.Kernel.t ->
+  Candidate.t ->
+  Service.Key.t
 (** Compile-cache key for this evaluation: version ["tune-infl"], flags
-    carrying the candidate digest. *)
+    carrying the candidate digest and the scheduling strategy (default:
+    the scheduler's default).  The strategy changes measured compile-side
+    observability, never the schedule, but keeping the keys disjoint
+    means a strategy A/B run can trust every cached measurement. *)
 
 val find : Service.Cache.t -> Service.Key.t -> measurement option option
 (** [Some (Some m)] — cached successful measurement; [Some None] — the
@@ -31,7 +39,12 @@ val find : Service.Cache.t -> Service.Key.t -> measurement option option
     on this kernel, don't retry); [None] — cache miss.  Coordinator-only,
     like all compile-cache access. *)
 
-val compute : machine:Gpusim.Machine.t -> Ir.Kernel.t -> Candidate.t -> measurement option
+val compute :
+  ?strategy:Scheduling.Scheduler.strategy ->
+  machine:Gpusim.Machine.t ->
+  Ir.Kernel.t ->
+  Candidate.t ->
+  measurement option
 (** Runs tree → schedule → lower → simulate; [None] if any stage
     raises (counted as [tune.eval_failures]).  Pure compute, safe to run
     on worker domains. *)
@@ -40,6 +53,7 @@ val store : Service.Cache.t -> Service.Key.t -> measurement option -> unit
 
 val measure :
   ?cache:Service.Cache.t ->
+  ?strategy:Scheduling.Scheduler.strategy ->
   machine:Gpusim.Machine.t ->
   Ir.Kernel.t ->
   Candidate.t ->

@@ -272,7 +272,9 @@ let test_trace_write_file () =
 let scheduler_counters () =
   [ "scheduler.ilp_solves"; "scheduler.influence_nodes_visited";
     "scheduler.sibling_moves"; "scheduler.ancestor_backtracks";
-    "scheduler.scc_separations"; "scheduler.band_ends"; "ilp.solves";
+    "scheduler.scc_separations"; "scheduler.band_ends";
+    "scheduler.fastpath_hits"; "scheduler.fastpath_fallbacks";
+    "scheduler.fastpath_validity_rejects"; "ilp.solves";
     "ilp.bb_nodes"; "simplex.solves"; "simplex.pivots"
   ]
   |> List.map (fun n -> (n, Obs.Counters.find n))
@@ -280,12 +282,22 @@ let scheduler_counters () =
 let test_scheduler_counters_move () =
   reset ();
   let k = Ops.Classics.cast_transpose ~n:8 ~m:8 () in
-  let _ = Scheduling.Scheduler.schedule k in
+  (* the exact solver's counters need `Ilp_only: under the default
+     strategy this kernel schedules entirely on the fast path. *)
+  let config =
+    { Scheduling.Scheduler.default_config with strategy = `Ilp_only }
+  in
+  let _ = Scheduling.Scheduler.schedule ~config k in
   Alcotest.(check bool) "ilp solves counted" true (Obs.Counters.find "ilp.solves" > 0);
   Alcotest.(check bool) "simplex pivots counted" true
     (Obs.Counters.find "simplex.pivots" > 0);
   Alcotest.(check bool) "scheduler solves counted" true
-    (Obs.Counters.find "scheduler.ilp_solves" > 0)
+    (Obs.Counters.find "scheduler.ilp_solves" > 0);
+  Alcotest.(check bool) "no fastpath under ilp-only" true
+    (Obs.Counters.find "scheduler.fastpath_hits" = 0);
+  let _ = Scheduling.Scheduler.schedule k in
+  Alcotest.(check bool) "fastpath hits counted under the default" true
+    (Obs.Counters.find "scheduler.fastpath_hits" > 0)
 
 let test_scheduler_counters_deterministic () =
   let run () =
@@ -307,10 +319,17 @@ let test_eval_obs_populated () =
   let k = Ops.Classics.cast_transpose ~n:8 ~m:8 () in
   let r = Harness.Eval.evaluate_op ~name:"cast_transpose" k in
   let o = r.Harness.Eval.obs in
-  Alcotest.(check bool) "isl schedule solves counted" true
-    (o.Harness.Eval.isl_sched.Harness.Eval.ilp_solves > 0);
-  Alcotest.(check bool) "infl schedule solves counted" true
-    (o.Harness.Eval.infl_sched.Harness.Eval.ilp_solves > 0);
+  (* with the fast path on by default, scheduling work shows up as hits
+     or as ILP solves — the sum is what must be non-zero *)
+  let work (s : Harness.Eval.sched_obs) =
+    s.Harness.Eval.ilp_solves + s.Harness.Eval.fastpath_hits
+  in
+  Alcotest.(check bool) "isl schedule work counted" true
+    (work o.Harness.Eval.isl_sched > 0);
+  Alcotest.(check bool) "infl schedule work counted" true
+    (work o.Harness.Eval.infl_sched > 0);
+  Alcotest.(check bool) "fastpath hit on cast_transpose" true
+    (o.Harness.Eval.isl_sched.Harness.Eval.fastpath_hits > 0);
   Alcotest.(check bool) "sched time measured" true
     (o.Harness.Eval.infl_sched.Harness.Eval.sched_s >= 0.)
 
@@ -326,7 +345,7 @@ let test_trace_covers_pipeline () =
   List.iter
     (fun k ->
       Alcotest.(check bool) (k ^ " present") true (List.mem k kinds))
-    [ "scheduler.start"; "scheduler.solve"; "scheduler.done"; "vectorizer.rank";
+    [ "scheduler.start"; "scheduler.fastpath"; "scheduler.done"; "vectorizer.rank";
       "vectorizer.tree"; "codegen.pass"; "gpusim.sim"; "harness.version";
       "harness.op" ]
 

@@ -80,6 +80,28 @@ let test_pool_exception () =
            (fun x -> if x = 7 then failwith "boom" else x)
            (List.init 12 Fun.id)))
 
+(* BENCH_PR5 regression: spawning worker domains on a single-core host
+   (or for --jobs 1, or a single task) costs more than it saves — those
+   shapes must take the sequential path. *)
+let test_pool_parallelizable () =
+  Alcotest.(check bool) "one core stays sequential" false
+    (Service.Pool.parallelizable ~cores:1 ~jobs:8 64);
+  Alcotest.(check bool) "jobs 1 stays sequential" false
+    (Service.Pool.parallelizable ~cores:4 ~jobs:1 64);
+  Alcotest.(check bool) "jobs 0 stays sequential" false
+    (Service.Pool.parallelizable ~cores:4 ~jobs:0 64);
+  Alcotest.(check bool) "single task stays sequential" false
+    (Service.Pool.parallelizable ~cores:4 ~jobs:4 1);
+  Alcotest.(check bool) "empty input stays sequential" false
+    (Service.Pool.parallelizable ~cores:4 ~jobs:4 0);
+  Alcotest.(check bool) "multi-core multi-job fans out" true
+    (Service.Pool.parallelizable ~cores:4 ~jobs:4 8);
+  (* whatever this host looks like, the pool must agree with its own
+     predicate — and still produce input-ordered results *)
+  let xs = List.init 8 Fun.id in
+  Alcotest.(check (list int)) "sequential path is order-preserving" xs
+    (Service.Pool.map ~jobs:1 Fun.id xs)
+
 (* ------------------------------------------------------------------ *)
 (* Cache                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -303,7 +325,8 @@ let () =
     [ ("key", [ Alcotest.test_case "stability" `Quick test_key_stability ]);
       ( "pool",
         [ Alcotest.test_case "order and counters" `Quick test_pool_order_and_counters;
-          Alcotest.test_case "exceptions" `Quick test_pool_exception
+          Alcotest.test_case "exceptions" `Quick test_pool_exception;
+          Alcotest.test_case "parallelizable guard" `Quick test_pool_parallelizable
         ] );
       ( "cache",
         [ Alcotest.test_case "roundtrip" `Quick test_cache_roundtrip;
