@@ -1,0 +1,159 @@
+(* Serve-path load generator: drives Service.Serve.handle_line with a
+   queue of 10k+ compile requests and reports sustained throughput and
+   tail latency, cold cache and warm, to BENCH_PR8.json
+   (schema akg-repro-bench-serve-load).
+
+   Usage:  dune exec bench/serve_load.exe [COUNT] [OUT.json]
+
+   Requests cycle through every network operator crossed with the three
+   compiler versions, so the cold phase mixes real compiles (first sight
+   of each distinct cache key) with cache hits, and the warm phase —
+   the same request sequence replayed against the populated cache — is
+   pure hits.  Latency percentiles are computed exactly from the
+   per-request wall-clock samples; the serve histograms measured the
+   same requests and are scraped at the end as a cross-check that the
+   exposition is live. *)
+
+module J = Obs.Json
+
+let count = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 10_000
+let out_file = if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_PR8.json"
+
+let versions = [| "infl"; "novec"; "isl" |]
+
+(* the request mix: every network op under its serve name, round-robin
+   across versions — distinct (op, version) pairs are distinct cache keys *)
+let ops =
+  List.concat_map
+    (fun (n : Ops.Networks.t) ->
+      List.map
+        (fun (op, _) ->
+          Printf.sprintf "%s/%s" (String.lowercase_ascii n.Ops.Networks.name) op)
+        (Lazy.force n.Ops.Networks.ops))
+    Ops.Networks.all
+  |> Array.of_list
+
+let find_op name =
+  match String.index_opt name '/' with
+  | None -> None
+  | Some i -> (
+    let net = String.sub name 0 i in
+    let op = String.sub name (i + 1) (String.length name - i - 1) in
+    match
+      List.find_opt
+        (fun (n : Ops.Networks.t) ->
+          String.lowercase_ascii n.Ops.Networks.name = net)
+        Ops.Networks.all
+    with
+    | None -> None
+    | Some n -> List.assoc_opt op (Lazy.force n.Ops.Networks.ops))
+
+let request i =
+  let op = ops.(i mod Array.length ops) in
+  let version = versions.(i mod Array.length versions) in
+  Printf.sprintf {|{"id":"load-%d","op":"%s","version":"%s"}|} i op version
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  sorted.(max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1)))
+
+let counter = Obs.Counters.find
+
+(* runs [count] requests through the handler, returning (errors, samples) *)
+let drive h =
+  let samples = Array.make count 0.0 in
+  let errors = ref 0 in
+  for i = 0 to count - 1 do
+    let line = request i in
+    let t0 = Unix.gettimeofday () in
+    let reply = Service.Serve.handle_line h line in
+    samples.(i) <- Unix.gettimeofday () -. t0;
+    (match J.of_string reply with
+     | Ok j when J.member "status" j = Some (J.String "ok") -> ()
+     | _ -> incr errors)
+  done;
+  (!errors, samples)
+
+let phase_json name (elapsed, errors, samples, hits, misses) =
+  Array.sort compare samples;
+  let us q = J.Float (quantile samples q *. 1e6) in
+  Printf.printf
+    "  %-4s  %7.2f s  %8.0f req/s  p50 %6.0fus  p99 %6.0fus  p99.9 %6.0fus  \
+     (%d hits, %d misses, %d errors)\n%!"
+    name elapsed
+    (float_of_int count /. elapsed)
+    (quantile samples 0.5 *. 1e6) (quantile samples 0.99 *. 1e6)
+    (quantile samples 0.999 *. 1e6) hits misses errors;
+  ( name,
+    J.Assoc
+      [ ("seconds", J.Float elapsed);
+        ("rps", J.Float (float_of_int count /. elapsed));
+        ("p50_us", us 0.5); ("p90_us", us 0.9); ("p99_us", us 0.99);
+        ("p999_us", us 0.999);
+        ("cache_hits", J.Int hits); ("cache_misses", J.Int misses);
+        ("errors", J.Int errors)
+      ] )
+
+let run_phase h =
+  let hits0 = counter "service.cache_hits" in
+  let misses0 = counter "service.cache_misses" in
+  let t0 = Unix.gettimeofday () in
+  let errors, samples = drive h in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  ( elapsed, errors, samples,
+    counter "service.cache_hits" - hits0,
+    counter "service.cache_misses" - misses0 )
+
+let () =
+  let cache_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "akg_serve_load_%d" (Unix.getpid ()))
+  in
+  let cache = Service.Cache.open_ cache_dir in
+  let h = Service.Serve.make_handler ~cache ~find_op () in
+  let distinct = min count (Array.length ops * Array.length versions) in
+  Printf.printf "serve load: %d requests over %d ops x %d versions (%d distinct keys)\n%!"
+    count (Array.length ops) (Array.length versions) distinct;
+
+  let cold = run_phase h in
+  let (_, cold_errors, _, _, _) = cold in
+  let warm = run_phase h in
+  let (_, warm_errors, _, warm_hits, _) = warm in
+  assert (warm_hits = count) (* the warm phase must be pure cache hits *);
+
+  let cold_json = phase_json "cold" cold in
+  let warm_json = phase_json "warm" warm in
+
+  (* the serve-side histogram saw every request of both phases *)
+  let hist = Option.get (Obs.Histogram.find "serve.request_seconds") in
+  assert (hist.Obs.Histogram.count = 2 * count);
+  Printf.printf "  serve.request_seconds: count %d  p50 %.0fus  p99 %.0fus\n%!"
+    hist.Obs.Histogram.count
+    (Obs.Histogram.quantile hist 0.5 *. 1e6)
+    (Obs.Histogram.quantile hist 0.99 *. 1e6);
+  let doc =
+    J.Assoc
+      [ ("schema", J.String "akg-repro-bench-serve-load");
+        ("version", J.Int 1);
+        ("requests", J.Int count);
+        ("distinct_keys", J.Int distinct);
+        cold_json;
+        warm_json;
+        ("errors", J.Int (cold_errors + warm_errors));
+        ("hist_p50_us", J.Float (Obs.Histogram.quantile hist 0.5 *. 1e6));
+        ("hist_p99_us", J.Float (Obs.Histogram.quantile hist 0.99 *. 1e6))
+      ]
+  in
+  let oc = open_out out_file in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out_file;
+
+  (* clean up the scratch cache *)
+  (try
+     Array.iter
+       (fun f -> try Sys.remove (Filename.concat cache_dir f) with Sys_error _ -> ())
+       (Sys.readdir cache_dir);
+     Unix.rmdir cache_dir
+   with Sys_error _ | Unix.Unix_error _ -> ())

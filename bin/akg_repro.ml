@@ -96,7 +96,10 @@ let with_obs o f =
   in
   if o.stats then begin
     Format.printf "@.counters:@.%a" Obs.Counters.pp_table ();
-    Format.printf "@.pass timings:@.%a" Obs.Span.pp_report ()
+    Format.printf "@.pass timings:@.%a" Obs.Span.pp_report ();
+    (* latency histograms record only on the serve path, so this table
+       is usually empty (and then omitted) for one-shot commands *)
+    Format.printf "%a" Obs.Histogram.pp_table ()
   end;
   code
 
@@ -834,6 +837,84 @@ let diff_cmd =
       $ trace_pos_arg ~p:0 ~docv:"OLD" ~doc:"Old trace or fingerprint file"
       $ trace_pos_arg ~p:1 ~docv:"NEW" ~doc:"New trace or fingerprint file")
 
+let metrics_cmd =
+  let op_arg =
+    let doc =
+      "Compile operator $(docv) (influence version, V100) before rendering, so the \
+       exposition shows live pipeline values instead of only zeros."
+    in
+    Arg.(value & opt (some string) None & info [ "op" ] ~docv:"NAME" ~doc)
+  in
+  let run op o =
+    with_obs o @@ fun () ->
+    let warm =
+      match op with
+      | None -> 0
+      | Some name -> (
+        match find_op name with
+        | None ->
+          Format.eprintf "metrics: unknown operator %S@." name;
+          2
+        | Some kernel ->
+          ignore (Harness.Eval.evaluate_op ~machine:Gpusim.Machine.v100 ~name kernel);
+          0)
+    in
+    if warm <> 0 then warm
+    else begin
+      print_string (Obs.Metrics.exposition ());
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Render every registered counter, gauge and histogram as a Prometheus-style \
+          text exposition (the same text the serve \"metrics\" verb returns)")
+    Term.(const run $ op_arg $ obs_term)
+
+let perf_diff_cmd =
+  let bench_pos p docv =
+    Arg.(required & pos p (some string) None
+         & info [] ~docv ~doc:"Committed bench JSON (BENCH_*.json)")
+  in
+  let tolerance_arg =
+    let doc =
+      "Fraction a timing metric may move in the bad direction before it counts as a \
+       regression (exact count metrics regress on any bad movement)."
+    in
+    Arg.(value & opt float 0.1 & info [ "tolerance" ] ~docv:"FRAC" ~doc)
+  in
+  let run old_file new_file tolerance =
+    match (Obs.Benchdiff.load old_file, Obs.Benchdiff.load new_file) with
+    | Error e, _ | _, Error e ->
+      Format.eprintf "perf-diff: %s@." e;
+      2
+    | Ok old_doc, Ok new_doc -> (
+      match Obs.Benchdiff.compare_docs ~tolerance old_doc new_doc with
+      | Error e ->
+        Format.eprintf "perf-diff: %s@." e;
+        2
+      | Ok report ->
+        Format.printf "%a" Obs.Benchdiff.pp_report report;
+        Obs.Benchdiff.exit_code (snd report))
+  in
+  Cmd.v
+    (Cmd.info "perf-diff"
+       ~doc:
+         "Compare two committed bench JSON files schema-aware; exit 0 = identical, 1 = \
+          changed within tolerance (or improved), 2 = regressed"
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Both files must carry the same bench schema \
+              (akg-repro-bench-service/-fastpath/-tune/-serve-load, or the PR-2 micro \
+              format).  Deterministic count metrics (ILP solves, serve errors) regress \
+              on any movement in the bad direction; timing metrics (rps, p50/p99, \
+              wall-clock) only regress beyond $(b,--tolerance).  Metrics present on one \
+              side only are reported as added/removed and exit 1, never 2."
+         ])
+    Term.(const run $ bench_pos 0 "OLD.json" $ bench_pos 1 "NEW.json" $ tolerance_arg)
+
 let () =
   let doc = "Polyhedral scheduling with constraint injection (CGO'22 reproduction)" in
   let info = Cmd.info "akg_repro" ~doc in
@@ -842,4 +923,4 @@ let () =
        (Cmd.group info
           [ list_cmd; show_cmd; schedule_cmd; codegen_cmd; simulate_cmd; eval_cmd;
             check_cmd; tune_cmd; tune_tiles_cmd; network_cmd; serve_cmd; fuzz_cmd;
-            report_cmd; diff_cmd ]))
+            report_cmd; diff_cmd; metrics_cmd; perf_diff_cmd ]))

@@ -1,0 +1,190 @@
+(* Schema-aware comparison of committed BENCH_*.json files.
+
+   Every bench schema the repo has emitted (service, fastpath, tune,
+   serve-load, the Bechamel micro file) names the metrics worth gating
+   on, each with a direction (is bigger better?) and a noise class:
+   "exact" metrics are deterministic counts (ILP solves, error totals)
+   where any movement in the bad direction is a regression regardless of
+   tolerance, while timing metrics only regress when they move beyond
+   the tolerance fraction.
+
+   The comparison never throws on strange documents — unknown fields are
+   ignored, metrics missing from one side are reported as added/removed
+   (a change, not a regression) — but refuses to compare documents of
+   different schemas. *)
+
+type direction = Higher_better | Lower_better
+
+type spec = {
+  mpath : string list;  (* dotted path into the document; last may be "*" *)
+  mdir : direction;
+  exact : bool;
+}
+
+let m ?(exact = false) mdir mpath = { mpath; mdir; exact }
+
+(* the committed bench trajectory, one entry per schema *)
+let schemas : (string * spec list) list =
+  [ ( "akg-repro-bench-service",
+      [ m Higher_better [ "par_speedup" ]; m Higher_better [ "warm_speedup" ];
+        m Lower_better [ "seq_s" ]; m Lower_better [ "par_s" ];
+        m Lower_better [ "cold_cache_s" ]; m Lower_better [ "warm_cache_s" ];
+        m ~exact:true Lower_better [ "warm_ilp_solves" ]
+      ] );
+    ( "akg-repro-bench-fastpath",
+      [ m Higher_better [ "geomean_speedup" ];
+        m Higher_better [ "fastpath_hit_rate" ];
+        m Higher_better [ "ilp_solve_reduction" ];
+        m ~exact:true Lower_better [ "ilp_solves_fastpath" ];
+        m ~exact:true Lower_better [ "fastpath_fallbacks" ]
+      ] );
+    ( "akg-repro-bench-tune",
+      [ m Higher_better [ "geomean_speedup" ];
+        m ~exact:true Higher_better [ "improved_ops" ];
+        m Lower_better [ "cold_s" ]; m Lower_better [ "warm_s" ]
+      ] );
+    ( "akg-repro-bench-serve-load",
+      [ m Higher_better [ "cold"; "rps" ]; m Higher_better [ "warm"; "rps" ];
+        m Lower_better [ "cold"; "p50_us" ]; m Lower_better [ "cold"; "p99_us" ];
+        m Lower_better [ "cold"; "p999_us" ]; m Lower_better [ "warm"; "p50_us" ];
+        m Lower_better [ "warm"; "p99_us" ]; m Lower_better [ "warm"; "p999_us" ];
+        m ~exact:true Lower_better [ "errors" ]
+      ] );
+    ("akg-repro-bench-micro", [ m Lower_better [ "results"; "*" ] ])
+  ]
+
+let schema_of j =
+  match Json.member "schema" j with
+  | Some (Json.String s) -> Ok s
+  | _ -> (
+    (* the PR-2 micro bench predates the schema tag *)
+    match Json.member "benchmark" j with
+    | Some (Json.String "micro") -> Ok "akg-repro-bench-micro"
+    | _ -> Error "document has no \"schema\" tag")
+
+let rec lookup path j =
+  match path with
+  | [] -> Some j
+  | key :: rest -> Option.bind (Json.member key j) (lookup rest)
+
+let numeric = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | _ -> None
+
+let metric_value path j = Option.bind (lookup path j) numeric
+
+(* expand a trailing "*" against the union of both documents' keys at
+   the prefix, so metrics added or removed by a PR are still reported *)
+let expand_spec old_doc new_doc spec =
+  match List.rev spec.mpath with
+  | "*" :: rev_prefix ->
+    let prefix = List.rev rev_prefix in
+    let keys doc =
+      match lookup prefix doc with
+      | Some (Json.Assoc kvs) -> List.map fst kvs
+      | _ -> []
+    in
+    List.sort_uniq String.compare (keys old_doc @ keys new_doc)
+    |> List.map (fun k -> { spec with mpath = prefix @ [ k ] })
+  | _ -> [ spec ]
+
+type outcome =
+  | Identical
+  | Improved of float
+  | Tolerable of float
+  | Regressed of float
+  | Added
+  | Removed
+
+type finding = {
+  metric : string;
+  old_v : float option;
+  new_v : float option;
+  outcome : outcome;
+}
+
+let classify ~tolerance spec old_v new_v =
+  match (old_v, new_v) with
+  | None, None -> None
+  | None, Some _ -> Some Added
+  | Some _, None -> Some Removed
+  | Some ov, Some nv ->
+    if Float.equal ov nv then Some Identical
+    else begin
+      let frac =
+        if ov = 0.0 then Float.infinity *. Float.of_int (Float.compare nv ov)
+        else (nv -. ov) /. Float.abs ov
+      in
+      let better =
+        match spec.mdir with Higher_better -> nv > ov | Lower_better -> nv < ov
+      in
+      if better then Some (Improved frac)
+      else if spec.exact then Some (Regressed frac)
+      else if Float.abs frac <= tolerance then Some (Tolerable frac)
+      else Some (Regressed frac)
+    end
+
+let compare_docs ?(tolerance = 0.1) old_doc new_doc =
+  match (schema_of old_doc, schema_of new_doc) with
+  | Error e, _ -> Error (Printf.sprintf "old: %s" e)
+  | _, Error e -> Error (Printf.sprintf "new: %s" e)
+  | Ok so, Ok sn when so <> sn ->
+    Error (Printf.sprintf "schema mismatch: %S vs %S" so sn)
+  | Ok schema, Ok _ -> (
+    match List.assoc_opt schema schemas with
+    | None ->
+      Error
+        (Printf.sprintf "unknown bench schema %S (known: %s)" schema
+           (String.concat ", " (List.map fst schemas)))
+    | Some specs ->
+      Ok
+        ( schema,
+          List.concat_map (expand_spec old_doc new_doc) specs
+          |> List.filter_map (fun spec ->
+                 let old_v = metric_value spec.mpath old_doc in
+                 let new_v = metric_value spec.mpath new_doc in
+                 Option.map
+                   (fun outcome ->
+                     { metric = String.concat "." spec.mpath; old_v; new_v; outcome })
+                   (classify ~tolerance spec old_v new_v)) ))
+
+(* 0 = every metric identical; 1 = movement, all of it tolerable or an
+   improvement; 2 = at least one regression *)
+let exit_code findings =
+  if List.exists (fun f -> match f.outcome with Regressed _ -> true | _ -> false)
+       findings
+  then 2
+  else if List.exists (fun f -> f.outcome <> Identical) findings then 1
+  else 0
+
+let pp_finding fmt f =
+  let v = function Some x -> Printf.sprintf "%.6g" x | None -> "-" in
+  let tag, detail =
+    match f.outcome with
+    | Identical -> ("  =", "")
+    | Improved frac -> ("  +", Printf.sprintf " (%+.1f%%)" (frac *. 100.))
+    | Tolerable frac -> ("  ~", Printf.sprintf " (%+.1f%%, tolerated)" (frac *. 100.))
+    | Regressed frac -> ("REG", Printf.sprintf " (%+.1f%%)" (frac *. 100.))
+    | Added -> ("  +", " (new metric)")
+    | Removed -> ("  ~", " (metric removed)")
+  in
+  Format.fprintf fmt "%s %-24s %12s -> %-12s%s@." tag f.metric (v f.old_v) (v f.new_v)
+    detail
+
+let pp_report fmt (schema, findings) =
+  Format.fprintf fmt "schema %s, %d metrics compared@." schema (List.length findings);
+  List.iter (pp_finding fmt) findings
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | contents -> (
+    match Json.of_string contents with
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    | Ok j -> Ok j)

@@ -1,0 +1,49 @@
+(** Schema-aware comparison of committed [BENCH_*.json] files — the
+    engine behind [akg_repro perf-diff].
+
+    Each bench schema the repo emits ([akg-repro-bench-service],
+    [-fastpath], [-tune], [-serve-load], and the PR-2 micro file, which
+    is recognized by its ["benchmark": "micro"] tag) declares the
+    metrics worth gating on, each with a direction and a noise class:
+    {e exact} metrics are deterministic counts (ILP solves, serve
+    errors) where any movement in the bad direction is a regression;
+    timing metrics only regress when they move beyond the tolerance
+    fraction.  Documents of different schemas refuse to compare;
+    metrics present on only one side are reported as added/removed —
+    a change, never a regression. *)
+
+type outcome =
+  | Identical
+  | Improved of float   (** fractional change, good direction *)
+  | Tolerable of float  (** bad direction, within tolerance *)
+  | Regressed of float  (** bad direction, beyond tolerance (or exact) *)
+  | Added               (** metric only in the new document *)
+  | Removed             (** metric only in the old document *)
+
+type finding = {
+  metric : string;  (** dotted path, e.g. ["cold.p99_us"] *)
+  old_v : float option;
+  new_v : float option;
+  outcome : outcome;
+}
+
+val schema_of : Json.t -> (string, string) result
+(** The document's bench schema tag. *)
+
+val compare_docs :
+  ?tolerance:float -> Json.t -> Json.t -> (string * finding list, string) result
+(** [compare_docs old new] — findings for every known metric of the
+    (shared) schema, in declaration order.  [tolerance] (default 0.1)
+    is the fraction a non-exact metric may move in the bad direction
+    before it counts as a regression. *)
+
+val exit_code : finding list -> int
+(** [0] — every metric identical; [1] — movement, but all of it
+    improvements or within tolerance; [2] — at least one regression. *)
+
+val pp_report : Format.formatter -> string * finding list -> unit
+(** Human-readable table: one line per finding, regressions tagged
+    [REG]. *)
+
+val load : string -> (Json.t, string) result
+(** Reads and parses a bench JSON file. *)

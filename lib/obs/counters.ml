@@ -1,23 +1,33 @@
 type t = { cname : string; doc : string; mutable v : int }
 
-(* The registry is only written by [create] (module-initialization time in
-   practice) and by [merge] on the coordinating domain, but both are guarded
-   so a late lazy registration cannot race a concurrent [find]. *)
+(* The registry is written only by [create] (module-initialization time
+   in practice), which is mutex-serialized; every read path — [find],
+   [snapshot], [reset_all], the metrics exposition — goes through an
+   immutable association list republished atomically on each create.
+   Readers therefore never touch the lock, so a worker domain polling
+   counters (the ROADMAP's registry_lock contention suspect under
+   [--jobs]) contends with nothing. *)
 let registry : (string, t) Hashtbl.t = Hashtbl.create 64
 let registry_lock = Mutex.create ()
+let published : (string * t) list Atomic.t = Atomic.make []
 
-let with_registry f =
-  Mutex.lock registry_lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+let publish () =
+  Atomic.set published
+    (Hashtbl.fold (fun n c acc -> (n, c) :: acc) registry []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b))
 
 let create ?(doc = "") cname =
-  with_registry @@ fun () ->
-  match Hashtbl.find_opt registry cname with
-  | Some c -> c
-  | None ->
-    let c = { cname; doc; v = 0 } in
-    Hashtbl.replace registry cname c;
-    c
+  Mutex.lock registry_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_lock)
+    (fun () ->
+      match Hashtbl.find_opt registry cname with
+      | Some c -> c
+      | None ->
+        let c = { cname; doc; v = 0 } in
+        Hashtbl.replace registry cname c;
+        publish ();
+        c)
 
 (* Domain-local scopes: inside [scoped], increments land in a per-domain
    delta table instead of the shared handle, so worker domains never write
@@ -57,24 +67,26 @@ let local_delta cname =
 let value c = c.v + local_delta c.cname
 
 let name c = c.cname
+let doc c = c.doc
 
 let find cname =
   let shared =
-    with_registry @@ fun () ->
-    match Hashtbl.find_opt registry cname with Some c -> c.v | None -> 0
+    match List.assoc_opt cname (Atomic.get published) with
+    | Some c -> c.v
+    | None -> 0
   in
   shared + local_delta cname
 
 let reset_all () =
-  (with_registry @@ fun () -> Hashtbl.iter (fun _ c -> c.v <- 0) registry);
+  List.iter (fun (_, c) -> c.v <- 0) (Atomic.get published);
   match Domain.DLS.get scope_key with
   | Some s -> Hashtbl.reset s
   | None -> ()
 
 let snapshot () =
-  (with_registry @@ fun () ->
-   Hashtbl.fold (fun _ c acc -> (c.cname, c.v + local_delta c.cname) :: acc) registry [])
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  List.map (fun (n, c) -> (n, c.v + local_delta n)) (Atomic.get published)
+
+let docs () = List.map (fun (n, c) -> (n, c.doc)) (Atomic.get published)
 
 let scoped f =
   let saved = Domain.DLS.get scope_key in

@@ -18,7 +18,12 @@
     deltas with {!merge} after joining the worker, in a deterministic
     order.  Inside a scope, reads ({!value}, {!find}, {!snapshot}) see the
     shared value plus the local delta, so delta-around-a-call arithmetic
-    keeps working and observes only the current task's increments. *)
+    keeps working and observes only the current task's increments.
+
+    Reads never take a lock: the registry is republished as an immutable
+    list on every {!create}, so {!find}/{!snapshot}/{!docs} from worker
+    domains (delta-around-a-call patterns under [--jobs]) contend with
+    nothing — only {!create} itself serializes on a mutex. *)
 
 type t
 (** A registered counter handle. *)
@@ -38,6 +43,8 @@ val value : t -> int
 
 val name : t -> string
 
+val doc : t -> string
+
 val find : string -> int
 (** Current value of the counter registered under a name; [0] when no such
     counter exists (convenient for cross-library deltas). *)
@@ -47,6 +54,10 @@ val reset_all : unit -> unit
 
 val snapshot : unit -> (string * int) list
 (** All registered counters with their current values, sorted by name. *)
+
+val docs : unit -> (string * string) list
+(** All registered counters with their doc strings, sorted by name —
+    what the {!Metrics} exposition renders as [# HELP] lines. *)
 
 val scoped : (unit -> 'a) -> 'a * (string * int) list
 (** [scoped f] runs [f] with all counter increments buffered in a

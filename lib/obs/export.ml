@@ -1,5 +1,9 @@
 let schema_name = "akg-repro-stats"
-let version = 1
+
+(* Version history: 1 = counters + spans; 2 = adds "histograms".  The
+   envelope is additive — a version-1 consumer reading only counters and
+   spans still finds them under the same keys. *)
+let version = 2
 
 let counters_json ?base () =
   let current = Counters.snapshot () in
@@ -24,12 +28,21 @@ let spans_json () =
              [ ("calls", Json.Int calls); ("total_ms", Json.Float (total_s *. 1e3)) ] ))
        (Span.report ()))
 
+let histograms_json () =
+  Json.Assoc
+    (List.filter_map
+       (fun (s : Histogram.snapshot) ->
+         if s.Histogram.count = 0 then None
+         else Some (s.Histogram.name, Histogram.summary_json s))
+       (Histogram.snapshot ()))
+
 let stats_json () =
   Json.Assoc
     [ ("schema", Json.String schema_name);
       ("version", Json.Int version);
       ("counters", counters_json ());
-      ("spans", spans_json ())
+      ("spans", spans_json ());
+      ("histograms", histograms_json ())
     ]
 
 let write_stats path =

@@ -6,6 +6,9 @@ val schema_name : string
 (** ["akg-repro-stats"]. *)
 
 val version : int
+(** Current stats format version (2).  Version 1 lacked the
+    ["histograms"] section; the envelope is additive, so version-1
+    documents remain readable by key. *)
 
 val counters_json : ?base:(string * int) list -> unit -> Json.t
 (** Nonzero counters as a flat object.  With [~base] (an earlier
@@ -15,9 +18,13 @@ val counters_json : ?base:(string * int) list -> unit -> Json.t
 val spans_json : unit -> Json.t
 (** The span report as [{path: {"calls": n, "total_ms": t}}]. *)
 
+val histograms_json : unit -> Json.t
+(** Nonempty histograms as [{name: {count, sum, min, max, mean, p50,
+    p90, p99, p999}}] (see {!Histogram.summary_json}). *)
+
 val stats_json : unit -> Json.t
-(** [{"schema": "akg-repro-stats", "version": 1, "counters": ...,
-    "spans": ...}]. *)
+(** [{"schema": "akg-repro-stats", "version": 2, "counters": ...,
+    "spans": ..., "histograms": ...}]. *)
 
 val write_stats : string -> unit
 (** Writes {!stats_json} to a file. *)

@@ -1,0 +1,32 @@
+(** Prometheus-style text exposition of the observability state.
+
+    {!exposition} renders {e every} registered {!Counters} counter
+    (type [counter], suffix [_total]), every registered {!Histogram}
+    (type [histogram]: cumulative [_bucket{le="..."}] series plus
+    [_sum]/[_count]), and every gauge registered here (type [gauge],
+    read through its callback at scrape time).  Zero-valued series are
+    included — a scrape covers everything registered, unlike the
+    nonzero-only [--stats] table.
+
+    Names are sanitized to [[a-zA-Z0-9_:]] and prefixed ["akg_"]:
+    ["service.cache_hits"] exports as [akg_service_cache_hits_total].
+    Doc strings become [# HELP] lines.
+
+    The exposition is surfaced as the [akg_repro metrics] subcommand and
+    as the serve protocol's ["metrics"] verb. *)
+
+val register_gauge : ?doc:string -> string -> (unit -> float) -> unit
+(** [register_gauge name read] registers (or rebinds — last registration
+    wins, so a re-created handler replaces its predecessor's closures) a
+    gauge sampled by calling [read] at scrape time.  Callbacks must be
+    cheap and must not raise. *)
+
+val gauges : unit -> (string * float) list
+(** Current value of every registered gauge, sorted by name. *)
+
+val metric_name : string -> string
+(** The sanitized, prefixed Prometheus name for a registry name (without
+    any [_total]/[_bucket] suffix). *)
+
+val exposition : unit -> string
+(** The full text exposition (Prometheus text format 0.0.4). *)

@@ -1,35 +1,46 @@
 (** Observability substrate for the scheduling pipeline.
 
-    Three near-zero-overhead primitives shared by every layer of the
+    Four near-zero-overhead primitives shared by every layer of the
     reproduction:
     - {!Counters}: named monotone counters (ILP solves, simplex pivots,
       backtracks, simulated memory transactions, ...);
+    - {!Histogram}: log-bucketed mergeable latency histograms with
+      deterministic parallel merge (p50/p90/p99/p99.9 for the serve
+      path);
     - {!Span}: hierarchical wall-clock timing with an aggregate report
       (where does compile time go);
     - {!Trace}: an append-only structured event log with JSON emission
       (why was this schedule chosen), carried by the {!Json} value type.
 
-    Counters and spans are always on (an increment or a clock read);
-    tracing is opt-in via {!Trace.enable} — the CLI's [--trace FILE.json]
-    and [--stats] flags are thin wrappers over this module.
+    Counters, histograms and spans are always on (an increment or a
+    clock read); tracing is opt-in via {!Trace.enable} — the CLI's
+    [--trace FILE.json] and [--stats] flags are thin wrappers over this
+    module.
 
     On top of the emitting side sits the analytics side: {!Tracefile}
     reads a written trace back and normalizes away wall-clock noise,
     {!Summary} folds it into a structural fingerprint with a diff (the
     CLI's [report] / [diff] subcommands and the [test/golden] CI gate),
-    {!Chrome} exports the trace for [ui.perfetto.dev], and {!Export}
-    serializes counters and spans for [--stats-json]. *)
+    {!Chrome} exports the trace for [ui.perfetto.dev], {!Export}
+    serializes counters, spans and histogram summaries for
+    [--stats-json], {!Metrics} renders everything as a Prometheus-style
+    text exposition (the [metrics] subcommand and serve verb), and
+    {!Benchdiff} compares two committed [BENCH_*.json] documents for the
+    [perf-diff] regression gate. *)
 
 module Json = Json
 module Counters = Counters
+module Histogram = Histogram
+module Metrics = Metrics
 module Span = Span
 module Trace = Trace
 module Tracefile = Tracefile
 module Summary = Summary
 module Chrome = Chrome
 module Export = Export
+module Benchdiff = Benchdiff
 
 val reset_all : unit -> unit
-(** Zeroes every counter, clears the span report and drops the recorded
-    trace — call between measured runs (does not change whether tracing
-    is enabled). *)
+(** Zeroes every counter, resets every histogram, clears the span report
+    and drops the recorded trace — call between measured runs (does not
+    change whether tracing is enabled). *)

@@ -39,9 +39,30 @@ let clear () =
    worker domain is running, so the plain reads below are race-free. *)
 let buffer_key : event list ref option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
+(* Current request id, domain-local.  Set by the serve front end around
+   each request (and re-installed inside pool workers by the dispatching
+   coordinator), so every event a request causes — on any domain —
+   carries the same "req" field and a trace can be sliced per request. *)
+let request_key : string option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let request () = Domain.DLS.get request_key
+
+let with_request id f =
+  let saved = Domain.DLS.get request_key in
+  Domain.DLS.set request_key (Some id);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set request_key saved) f
+
+let with_request_opt req f =
+  match req with None -> f () | Some id -> with_request id f
+
 let emit kind fields =
   if !on then begin
     let ts_us = (Unix.gettimeofday () -. !epoch) *. 1e6 in
+    let fields =
+      match Domain.DLS.get request_key with
+      | None -> fields
+      | Some id -> ("req", Json.String id) :: fields
+    in
     match Domain.DLS.get buffer_key with
     | Some b -> b := { seq = -1; ts_us; kind; fields } :: !b
     | None ->

@@ -122,6 +122,16 @@ let evict_to_cap t =
       end)
     entries
 
+type stats = { entries : int; bytes : int }
+
+(* a directory walk per call: cheap at scrape frequency, and always
+   consistent with what eviction sees *)
+let stats t =
+  let entries = entries_by_age t in
+  { entries = List.length entries;
+    bytes = List.fold_left (fun acc (_, _, sz) -> acc + sz) 0 entries
+  }
+
 let store t key payload =
   let doc =
     Obs.Json.Assoc

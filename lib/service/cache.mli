@@ -39,3 +39,10 @@ val store : t -> Key.t -> Obs.Json.t -> unit
 
 val entry_path : t -> Key.t -> string
 (** Where an entry lives on disk (for tests and debugging). *)
+
+type stats = { entries : int; bytes : int }
+
+val stats : t -> stats
+(** Entry count and total entry bytes on disk right now — what the
+    serve front end exports as the [service.cache_entries] and
+    [service.cache_bytes] gauges. *)

@@ -4,13 +4,29 @@
    whole operator compilations — so the cursor is never contended enough
    to matter).  Determinism comes from the merge step, not the execution
    order: every task runs under Obs capture, and the coordinator applies
-   counter deltas, span buckets and trace events in task-index order after
-   the join, so `--jobs 4` produces bit-identical observability to
-   `--jobs 1`. *)
+   counter deltas, span buckets, histogram deltas and trace events in
+   task-index order after the join, so `--jobs 4` produces bit-identical
+   observability to `--jobs 1`. *)
 
 let c_tasks =
   Obs.Counters.create "service.pool_tasks"
     ~doc:"tasks executed through Service.Pool (any job count)"
+
+(* Scrape-time gauges: how many tasks of the active map are still
+   unclaimed, and how many workers are executing one right now.  Both
+   are plain atomics updated around the claim/run steps, so another
+   thread serving a metrics scrape reads a consistent point-in-time
+   value without touching the pool. *)
+let queued = Atomic.make 0
+let busy = Atomic.make 0
+
+let () =
+  Obs.Metrics.register_gauge "service.pool_queue_depth"
+    ~doc:"unclaimed tasks in the active Service.Pool map" (fun () ->
+      float_of_int (Atomic.get queued));
+  Obs.Metrics.register_gauge "service.pool_busy"
+    ~doc:"worker domains currently executing a pool task" (fun () ->
+      float_of_int (Atomic.get busy))
 
 let default_jobs () = Domain.recommended_domain_count ()
 
@@ -22,18 +38,24 @@ type 'b slot = {
   result : ('b, exn) result;
   counters : (string * int) list;
   spans : (string * int * float) list;
+  hists : Obs.Histogram.snapshot list;
   trace : Obs.Trace.event list;
 }
 
-let run_task f x =
-  let ((result, counters), spans), trace =
+(* [req] is the coordinator's request id (if any): re-installed on the
+   worker so trace events the task emits carry the same "req" field the
+   dispatching request's own events do. *)
+let run_task req f x =
+  let ((((result, hists), counters), spans), trace) =
     Obs.Trace.buffered (fun () ->
         Obs.Span.scoped (fun () ->
             Obs.Counters.scoped (fun () ->
-                Obs.Counters.incr c_tasks;
-                match f x with r -> Ok r | exception e -> Error e)))
+                Obs.Histogram.scoped (fun () ->
+                    Obs.Trace.with_request_opt req (fun () ->
+                        Obs.Counters.incr c_tasks;
+                        match f x with r -> Ok r | exception e -> Error e)))))
   in
-  { result; counters; spans; trace }
+  { result; counters; spans; hists; trace }
 
 (* Spawning is only worth it when there are real cores to spawn onto: on a
    single-core host the domains time-slice the one core and the pool pays
@@ -58,12 +80,18 @@ let map ~jobs f xs =
     let input = Array.of_list xs in
     let slots : 'b slot option array = Array.make n None in
     let next = Atomic.make 0 in
+    let req = Obs.Trace.request () in
+    ignore (Atomic.fetch_and_add queued n);
     let worker () =
       Domain.DLS.set in_worker true;
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          slots.(i) <- Some (run_task f input.(i));
+          ignore (Atomic.fetch_and_add queued (-1));
+          ignore (Atomic.fetch_and_add busy 1);
+          Fun.protect
+            ~finally:(fun () -> ignore (Atomic.fetch_and_add busy (-1)))
+            (fun () -> slots.(i) <- Some (run_task req f input.(i)));
           loop ()
         end
       in
@@ -82,6 +110,7 @@ let map ~jobs f xs =
       (fun s ->
         Obs.Counters.merge s.counters;
         Obs.Span.merge s.spans;
+        Obs.Histogram.merge s.hists;
         Obs.Trace.append s.trace)
       !out;
     List.map (function { result = Ok r; _ } -> r | { result = Error e; _ } -> raise e) !out

@@ -4,13 +4,21 @@
     [map ~jobs f xs] applies [f] to every element of [xs], running up to
     [jobs] tasks concurrently on spawned domains.  Results come back in
     input order regardless of completion order, and every task runs under
-    {!Obs.Counters.scoped}, {!Obs.Span.scoped} and {!Obs.Trace.buffered}:
-    the pool folds each task's counter deltas, span buckets and trace
-    events back into the shared Obs state {e in task-index order} after
-    joining the workers.  Consequently a parallel run is observationally
-    bit-identical to a sequential one — same counter totals, same trace
-    event sequence — which is what lets [--jobs N] reproduce Table II
-    exactly.
+    {!Obs.Counters.scoped}, {!Obs.Span.scoped}, {!Obs.Histogram.scoped}
+    and {!Obs.Trace.buffered}: the pool folds each task's counter deltas,
+    span buckets, histogram deltas and trace events back into the shared
+    Obs state {e in task-index order} after joining the workers.
+    Consequently a parallel run is observationally bit-identical to a
+    sequential one — same counter totals, same histogram snapshots, same
+    trace event sequence — which is what lets [--jobs N] reproduce
+    Table II exactly.
+
+    The coordinator's request id (see {!Obs.Trace.with_request}) is
+    re-installed on workers, so trace events a task emits carry the
+    request that dispatched it.  Two scrape-time gauges are registered
+    with {!Obs.Metrics}: [service.pool_queue_depth] (unclaimed tasks of
+    the active map) and [service.pool_busy] (workers executing a
+    task).
 
     Tasks must be independent: they may not assume shared mutable state
     beyond the Obs layer (the compilation pipeline is pure per kernel).

@@ -6,16 +6,53 @@ let c_requests =
 let c_errors =
   Obs.Counters.create "service.serve_errors" ~doc:"serve requests answered with an error"
 
+let c_metrics_requests =
+  Obs.Counters.create "service.serve_metrics_requests"
+    ~doc:"serve requests answered with a metrics exposition"
+
+let c_health_requests =
+  Obs.Counters.create "service.serve_health_requests"
+    ~doc:"serve health-check requests"
+
+let h_request =
+  Obs.Histogram.create "serve.request_seconds"
+    ~doc:"serve request latency, all verbs (seconds)"
+
+let h_compile =
+  Obs.Histogram.create "serve.compile_seconds"
+    ~doc:"serve compile-request latency, cache hits included (seconds)"
+
+let default_max_request_bytes = 1 lsl 20
+
 type handler = {
   find_op : string -> Ir.Kernel.t option;
   kernel_of_json : (J.t -> (Ir.Kernel.t, string) result) option;
   cache : Cache.t option;
   default_machine : Gpusim.Machine.t;
+  max_request_bytes : int;
+  started : float;
+  next_id : int Atomic.t;
 }
 
 let make_handler ?(kernel_of_json = None) ?cache
-    ?(default_machine = Gpusim.Machine.v100) ~find_op () =
-  { find_op; kernel_of_json; cache; default_machine }
+    ?(default_machine = Gpusim.Machine.v100)
+    ?(max_request_bytes = default_max_request_bytes) ~find_op () =
+  (* gauges rebind to this handler's cache and epoch; last handler wins *)
+  Option.iter
+    (fun c ->
+      Obs.Metrics.register_gauge "service.cache_entries"
+        ~doc:"compile-cache entries on disk" (fun () ->
+          float_of_int (Cache.stats c).Cache.entries);
+      Obs.Metrics.register_gauge "service.cache_bytes"
+        ~doc:"compile-cache bytes on disk" (fun () ->
+          float_of_int (Cache.stats c).Cache.bytes))
+    cache;
+  let started = Unix.gettimeofday () in
+  Obs.Metrics.register_gauge "service.serve_uptime_seconds"
+    ~doc:"seconds since the serve handler was created" (fun () ->
+      Unix.gettimeofday () -. started);
+  { find_op; kernel_of_json; cache; default_machine; max_request_bytes; started;
+    next_id = Atomic.make 0 }
 
 type version = Isl | Novec | Infl
 
@@ -59,104 +96,202 @@ let compile_report ~machine ~strategy ~version ~op kernel =
     ("time_us", J.Float (Gpusim.Sim.time_us report))
   ]
 
-let error msg =
+let error ~id msg =
   Obs.Counters.incr c_errors;
-  J.to_string (J.Assoc [ ("status", J.String "error"); ("error", J.String msg) ])
+  J.to_string
+    (J.Assoc
+       [ ("status", J.String "error"); ("id", J.String id);
+         ("error", J.String msg)
+       ])
 
-let ok ~cached ~digest fields =
+(* every reply carries its request id and its own wall-clock cost; the
+   span breakdown (scheduler/codegen/simulator paths, in microseconds)
+   rides along on compile replies so a client can see where a slow
+   request spent its time without a server-side trace *)
+let timing_fields ~elapsed_s spans =
+  [ ("elapsed_us", J.Float (elapsed_s *. 1e6));
+    ("spans",
+     J.Assoc
+       (List.map
+          (fun (path, calls, total_s) ->
+            ( path,
+              J.Assoc
+                [ ("calls", J.Int calls);
+                  ("total_us", J.Float (total_s *. 1e6))
+                ] ))
+          spans))
+  ]
+
+let ok ~id ~cached ~digest ~timing fields =
   J.to_string
     (J.Assoc
        (("status", J.String "ok")
+       :: ("id", J.String id)
        :: ("cached", J.Bool cached)
        :: ("digest", J.String digest)
-       :: fields))
+       :: (fields @ timing)))
 
-(* One request per line: {"op": NAME | "kernel": CASE, "version"?, "machine"?}.
-   Every outcome — including unparseable input — is a single-line JSON
-   reply; the serve loop never crashes on a bad request. *)
+let request_id h req =
+  match Option.bind req (J.member "id") with
+  | Some (J.String s) when s <> "" -> s
+  | Some (J.Int n) -> string_of_int n
+  | _ -> Printf.sprintf "r%d" (Atomic.fetch_and_add h.next_id 1)
+
+let health_reply h ~id =
+  Obs.Counters.incr c_health_requests;
+  let cache_fields =
+    match h.cache with
+    | None -> [ ("cache", J.Null) ]
+    | Some c ->
+      let s = Cache.stats c in
+      [ ("cache",
+         J.Assoc
+           [ ("dir", J.String (Cache.dir c));
+             ("entries", J.Int s.Cache.entries);
+             ("bytes", J.Int s.Cache.bytes)
+           ])
+      ]
+  in
+  J.to_string
+    (J.Assoc
+       ([ ("status", J.String "ok"); ("id", J.String id);
+          ("health", J.String "ok");
+          ("uptime_s", J.Float (Unix.gettimeofday () -. h.started));
+          ("requests", J.Int (Obs.Counters.value c_requests));
+          ("errors", J.Int (Obs.Counters.value c_errors));
+          ("default_machine", J.String h.default_machine.Gpusim.Machine.name)
+        ]
+       @ cache_fields))
+
+let metrics_reply ~id =
+  Obs.Counters.incr c_metrics_requests;
+  J.to_string
+    (J.Assoc
+       [ ("status", J.String "ok"); ("id", J.String id);
+         ("metrics", J.String (Obs.Metrics.exposition ()))
+       ])
+
+let handle_compile h ~id req =
+  let version =
+    match J.member "version" req with
+    | None -> Ok Infl
+    | Some (J.String s) -> (
+      match version_of_name s with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "unknown version %S (isl|novec|infl)" s))
+    | Some _ -> Error "version must be a string"
+  in
+  let machine =
+    match J.member "machine" req with
+    | None -> Ok h.default_machine
+    | Some (J.String s) -> (
+      match Gpusim.Machine.of_name s with
+      | Some m -> Ok m
+      | None -> Error (Printf.sprintf "unknown machine %S" s))
+    | Some _ -> Error "machine must be a string"
+  in
+  let strategy =
+    match J.member "strategy" req with
+    | None -> Ok Scheduling.Scheduler.default_config.strategy
+    | Some (J.String s) -> (
+      match Scheduling.Scheduler.strategy_of_name s with
+      | Some st -> Ok st
+      | None ->
+        Error
+          (Printf.sprintf "unknown strategy %S (fastpath-then-ilp|ilp-only)" s))
+    | Some _ -> Error "strategy must be a string"
+  in
+  let kernel =
+    match (J.member "op" req, J.member "kernel" req) with
+    | Some (J.String name), None -> (
+      match h.find_op name with
+      | Some k -> Ok (name, k)
+      | None -> Error (Printf.sprintf "unknown operator %S" name))
+    | None, Some kj -> (
+      match h.kernel_of_json with
+      | None -> Error "inline kernels not supported by this endpoint"
+      | Some of_json -> (
+        match of_json kj with
+        | Ok k -> Ok (k.Ir.Kernel.name, k)
+        | Error e -> Error (Printf.sprintf "kernel: %s" e)))
+    | Some _, None -> Error "op must be a string"
+    | Some _, Some _ -> Error "give either op or kernel, not both"
+    | None, None -> Error "request needs an op name or an inline kernel"
+  in
+  match (version, machine, strategy, kernel) with
+  | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e ->
+    error ~id e
+  | Ok version, Ok machine, Ok strategy, Ok (op, kernel) -> (
+    let t0 = Unix.gettimeofday () in
+    (* spans the pipeline records inside this request are captured for
+       the reply's breakdown, then folded back into the shared report *)
+    let reply, spans =
+      Obs.Span.scoped (fun () ->
+          let key =
+            Key.make ~kernel ~machine ~version:(version_name version)
+              ~flags:
+                [ ("entry", "serve"); ("op", op);
+                  ("strategy", Scheduling.Scheduler.strategy_name strategy)
+                ]
+              ()
+          in
+          match Option.bind h.cache (fun c -> Cache.find c key) with
+          | Some (J.Assoc fields) -> Ok (true, Key.digest key, fields)
+          | Some _ | None -> (
+            match compile_report ~machine ~strategy ~version ~op kernel with
+            | exception Scheduling.Scheduler.Failure_no_schedule msg ->
+              Error (Printf.sprintf "no schedule: %s" msg)
+            | fields ->
+              Option.iter (fun c -> Cache.store c key (J.Assoc fields)) h.cache;
+              Ok (false, Key.digest key, fields)))
+    in
+    Obs.Span.merge spans;
+    let elapsed_s = Unix.gettimeofday () -. t0 in
+    Obs.Histogram.observe h_compile elapsed_s;
+    match reply with
+    | Error e -> error ~id e
+    | Ok (cached, digest, fields) ->
+      ok ~id ~cached ~digest ~timing:(timing_fields ~elapsed_s spans) fields)
+
+(* One request per line: {"op": NAME | "kernel": CASE, "verb"?, "id"?,
+   "version"?, "machine"?, "strategy"?}.  Every outcome — including
+   blank, oversized and unparseable input — is a single-line JSON reply
+   carrying the request id; the serve loop never crashes on a bad
+   request. *)
 let handle_line h line =
   Obs.Counters.incr c_requests;
-  match J.of_string line with
-  | Error e -> error (Printf.sprintf "parse: %s" e)
-  | Ok req -> (
-    let version =
-      match J.member "version" req with
-      | None -> Ok Infl
-      | Some (J.String s) -> (
-        match version_of_name s with
-        | Some v -> Ok v
-        | None -> Error (Printf.sprintf "unknown version %S (isl|novec|infl)" s))
-      | Some _ -> Error "version must be a string"
-    in
-    let machine =
-      match J.member "machine" req with
-      | None -> Ok h.default_machine
-      | Some (J.String s) -> (
-        match Gpusim.Machine.of_name s with
-        | Some m -> Ok m
-        | None -> Error (Printf.sprintf "unknown machine %S" s))
-      | Some _ -> Error "machine must be a string"
-    in
-    let strategy =
-      match J.member "strategy" req with
-      | None -> Ok Scheduling.Scheduler.default_config.strategy
-      | Some (J.String s) -> (
-        match Scheduling.Scheduler.strategy_of_name s with
-        | Some st -> Ok st
-        | None ->
-          Error
-            (Printf.sprintf "unknown strategy %S (fastpath-then-ilp|ilp-only)" s))
-      | Some _ -> Error "strategy must be a string"
-    in
-    let kernel =
-      match (J.member "op" req, J.member "kernel" req) with
-      | Some (J.String name), None -> (
-        match h.find_op name with
-        | Some k -> Ok (name, k)
-        | None -> Error (Printf.sprintf "unknown operator %S" name))
-      | None, Some kj -> (
-        match h.kernel_of_json with
-        | None -> Error "inline kernels not supported by this endpoint"
-        | Some of_json -> (
-          match of_json kj with
-          | Ok k -> Ok (k.Ir.Kernel.name, k)
-          | Error e -> Error (Printf.sprintf "kernel: %s" e)))
-      | Some _, None -> Error "op must be a string"
-      | Some _, Some _ -> Error "give either op or kernel, not both"
-      | None, None -> Error "request needs an op name or an inline kernel"
-    in
-    match (version, machine, strategy, kernel) with
-    | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e ->
-      error e
-    | Ok version, Ok machine, Ok strategy, Ok (op, kernel) -> (
-      let key =
-        Key.make ~kernel ~machine ~version:(version_name version)
-          ~flags:
-            [ ("entry", "serve"); ("op", op);
-              ("strategy", Scheduling.Scheduler.strategy_name strategy)
-            ]
-          ()
-      in
-      match Option.bind h.cache (fun c -> Cache.find c key) with
-      | Some (J.Assoc fields) -> ok ~cached:true ~digest:(Key.digest key) fields
-      | Some _ | None -> (
-        match compile_report ~machine ~strategy ~version ~op kernel with
-        | exception Scheduling.Scheduler.Failure_no_schedule msg ->
-          error (Printf.sprintf "no schedule: %s" msg)
-        | fields ->
-          Option.iter (fun c -> Cache.store c key (J.Assoc fields)) h.cache;
-          ok ~cached:false ~digest:(Key.digest key) fields)))
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () -> Obs.Histogram.observe h_request (Unix.gettimeofday () -. t0))
+    (fun () ->
+      if String.length line > h.max_request_bytes then
+        error ~id:(request_id h None)
+          (Printf.sprintf "request too large (%d bytes > %d)" (String.length line)
+             h.max_request_bytes)
+      else if String.trim line = "" then
+        error ~id:(request_id h None) "empty request"
+      else
+        match J.of_string line with
+        | Error e -> error ~id:(request_id h None) (Printf.sprintf "parse: %s" e)
+        | Ok req -> (
+          let id = request_id h (Some req) in
+          Obs.Trace.with_request id @@ fun () ->
+          match J.member "verb" req with
+          | None | Some (J.String "compile") -> handle_compile h ~id req
+          | Some (J.String "metrics") -> metrics_reply ~id
+          | Some (J.String "health") -> health_reply h ~id
+          | Some (J.String v) ->
+            error ~id (Printf.sprintf "unknown verb %S (compile|metrics|health)" v)
+          | Some _ -> error ~id "verb must be a string"))
 
 let serve h ic oc =
   let rec loop () =
     match input_line ic with
     | exception End_of_file -> ()
     | line ->
-      if String.trim line <> "" then begin
-        output_string oc (handle_line h line);
-        output_char oc '\n';
-        flush oc
-      end;
+      output_string oc (handle_line h line);
+      output_char oc '\n';
+      flush oc;
       loop ()
   in
   loop ()

@@ -4,21 +4,52 @@
     {v
     {"op": "fig2"}
     {"op": "bert/bert_ew_000", "version": "novec", "machine": "a100"}
-    {"kernel": <fuzz-case JSON>, "version": "isl"}
+    {"kernel": <fuzz-case JSON>, "version": "isl", "id": "req-17"}
+    {"verb": "metrics"}
+    {"verb": "health"}
     v}
-    ["version"] defaults to ["infl"], ["machine"] to the handler's
-    default (V100), ["strategy"] (["fastpath-then-ilp"] or ["ilp-only"])
-    to the scheduler's default.  Replies are one JSON object per line:
-    [{"status":"ok","cached":B,"digest":D,"op":...,"version":...,
-    "machine":...,"rows":N,"loop_dims":N,"scalar_dims":N,"ilp_solves":N,
-    "fastpath_hits":N,"abandoned":B,"legal":B,"time_us":F}] on success,
-    and [{"status":"error","error":MSG}] for anything else — a malformed
-    request is a structured error reply, never a crash, and the loop
-    keeps serving.
 
-    With a {!Cache}, replies are stored keyed by
+    The optional ["verb"] selects what the request does:
+    - [compile] (the default): schedule, lower and simulate one kernel.
+      ["version"] defaults to ["infl"], ["machine"] to the handler's
+      default (V100), ["strategy"] (["fastpath-then-ilp"] or
+      ["ilp-only"]) to the scheduler's default.
+    - [metrics]: returns the full Prometheus-style exposition of every
+      registered counter, gauge and histogram
+      (see {!Obs.Metrics.exposition}) as the ["metrics"] string field.
+    - [health]: liveness probe — uptime, request/error totals, cache
+      entry count and bytes.
+
+    Every reply carries the request's ["id"] (echoed from the request
+    when it has a string or int [id] field, otherwise an auto-assigned
+    ["r<seq>"]).  Compile replies additionally report their own timing:
+    ["elapsed_us"] (wall-clock for the request) and ["spans"] (the
+    per-phase breakdown recorded by {!Obs.Span} inside the request —
+    calls and total microseconds per instrumented path).  While a
+    request is handled its id is installed via {!Obs.Trace.with_request},
+    so trace events it emits — including from pool workers — carry a
+    ["req"] field.
+
+    Success replies look like
+    [{"status":"ok","id":I,"cached":B,"digest":D,"op":...,"version":...,
+    "machine":...,"rows":N,"loop_dims":N,"scalar_dims":N,"ilp_solves":N,
+    "fastpath_hits":N,"abandoned":B,"legal":B,"time_us":F,
+    "elapsed_us":F,"spans":{...}}], and anything else — a malformed
+    request, a blank line, a line over the size limit, an unknown verb —
+    is a structured [{"status":"error","id":I,"error":MSG}] reply that
+    bumps [service.serve_errors]; the loop never crashes and keeps
+    serving.
+
+    With a {!Cache}, compile replies are stored keyed by
     (kernel, machine, version, strategy, entry=serve) and repeated
     requests are answered from disk with ["cached": true].
+
+    Latency lands in two histograms: [serve.request_seconds] (every
+    request, any verb, errors included) and [serve.compile_seconds]
+    (compile requests only, cache hits included).  {!make_handler}
+    registers scrape-time gauges: [service.serve_uptime_seconds] and —
+    when a cache is attached — [service.cache_entries] and
+    [service.cache_bytes] backed by {!Cache.stats}.
 
     Operator-name resolution and inline-kernel decoding are injected, so
     this module stays independent of the operator zoo and the fuzzer's
@@ -27,17 +58,25 @@
 
 type handler
 
+val default_max_request_bytes : int
+(** 1 MiB — request lines longer than this are answered with a
+    structured error without being parsed. *)
+
 val make_handler :
   ?kernel_of_json:(Obs.Json.t -> (Ir.Kernel.t, string) result) option ->
   ?cache:Cache.t ->
   ?default_machine:Gpusim.Machine.t ->
+  ?max_request_bytes:int ->
   find_op:(string -> Ir.Kernel.t option) ->
   unit ->
   handler
 
 val handle_line : handler -> string -> string
-(** One request line in, one reply line out (no trailing newline). *)
+(** One request line in, one reply line out (no trailing newline).
+    Total: every input — blank, oversized, unparseable — yields exactly
+    one structured reply. *)
 
 val serve : handler -> in_channel -> out_channel -> unit
-(** Reads requests until EOF, writing and flushing one reply per
-    request; blank lines are skipped. *)
+(** Reads requests until EOF, writing and flushing one reply per line;
+    blank lines get an ["empty request"] error reply rather than being
+    silently skipped, so request/reply counts always match. *)

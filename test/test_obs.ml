@@ -349,6 +349,104 @@ let test_trace_covers_pipeline () =
       "vectorizer.tree"; "codegen.pass"; "gpusim.sim"; "harness.version";
       "harness.op" ]
 
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* the log-bucketing guarantees ~4.3% relative error ((gamma-1)/(gamma+1)
+   for gamma = 2^(1/8)); the tests allow 5% *)
+let test_hist_quantile_accuracy () =
+  reset ();
+  let h = Obs.Histogram.create "test.hist_acc" in
+  let n = 10_000 in
+  for i = 1 to n do
+    Obs.Histogram.observe h (float_of_int i *. 1e-4)
+  done;
+  let s = Option.get (Obs.Histogram.find "test.hist_acc") in
+  Alcotest.(check int) "count" n s.Obs.Histogram.count;
+  Alcotest.(check (float 1e-9)) "min exact" 1e-4 s.Obs.Histogram.min;
+  Alcotest.(check (float 1e-9)) "max exact" 1.0 s.Obs.Histogram.max;
+  Alcotest.(check (float 1e-3)) "sum within fixed-point grain"
+    (float_of_int (n * (n + 1) / 2) *. 1e-4)
+    (Obs.Histogram.sum s);
+  List.iter
+    (fun q ->
+      let true_v = Float.of_int (int_of_float (ceil (q *. float_of_int n))) *. 1e-4 in
+      let est = Obs.Histogram.quantile s q in
+      let rel = Float.abs (est -. true_v) /. true_v in
+      if rel > 0.05 then
+        Alcotest.failf "p%g: estimate %g vs true %g (rel err %.3f > 0.05)" (q *. 100.)
+          est true_v rel)
+    [ 0.5; 0.9; 0.99; 0.999 ]
+
+let test_hist_floor_and_extremes () =
+  reset ();
+  let h = Obs.Histogram.create "test.hist_floor" in
+  List.iter (Obs.Histogram.observe h) [ 0.0; -3.5; 1e-12 ];
+  let s = Option.get (Obs.Histogram.find "test.hist_floor") in
+  Alcotest.(check int) "zero and negatives recorded" 3 s.Obs.Histogram.count;
+  Alcotest.(check (float 1e-9)) "min keeps the exact negative" (-3.5)
+    s.Obs.Histogram.min;
+  (* estimates are clamped into [min, max], so a floor-bucket quantile
+     never reports a value outside what was observed *)
+  let p99 = Obs.Histogram.quantile s 0.99 in
+  Alcotest.(check bool) "quantile clamped to observed range" true
+    (p99 >= s.Obs.Histogram.min && p99 <= s.Obs.Histogram.max)
+
+(* scoped capture + in-order merge must reproduce the sequential
+   snapshot bit-for-bit: same count, same fixed-point sum, same buckets *)
+let test_hist_merge_deterministic () =
+  reset ();
+  let values = List.init 500 (fun i -> float_of_int ((i * 7919 mod 997) + 1) *. 1e-5) in
+  let h = Obs.Histogram.create "test.hist_merge" in
+  List.iter (Obs.Histogram.observe h) values;
+  let sequential = Option.get (Obs.Histogram.find "test.hist_merge") in
+  reset ();
+  (* split into uneven chunks, capture each under a scope, merge in order *)
+  let chunks =
+    let rec split n = function
+      | [] -> []
+      | vs ->
+        let k = min n (List.length vs) in
+        List.filteri (fun i _ -> i < k) vs :: split (n + 37) (List.filteri (fun i _ -> i >= k) vs)
+    in
+    split 13 values
+  in
+  let deltas =
+    List.map
+      (fun chunk ->
+        snd (Obs.Histogram.scoped (fun () -> List.iter (Obs.Histogram.observe h) chunk)))
+      chunks
+  in
+  List.iter Obs.Histogram.merge deltas;
+  let merged = Option.get (Obs.Histogram.find "test.hist_merge") in
+  Alcotest.(check bool) "snapshot bit-identical after scoped merge" true
+    (sequential = merged)
+
+let test_hist_export () =
+  reset ();
+  let h = Obs.Histogram.create "test.hist_export" in
+  List.iter (Obs.Histogram.observe h) [ 0.001; 0.002; 0.004 ];
+  let s = Option.get (Obs.Histogram.find "test.hist_export") in
+  (match Obs.Histogram.summary_json s with
+   | Obs.Json.Assoc kvs ->
+     List.iter
+       (fun k ->
+         Alcotest.(check bool) (k ^ " in summary") true (List.mem_assoc k kvs))
+       [ "count"; "sum"; "min"; "max"; "mean"; "p50"; "p90"; "p99"; "p999" ]
+   | _ -> Alcotest.fail "summary_json is not an object");
+  (* the --stats-json envelope is version 2 and carries the summaries *)
+  match Obs.Export.stats_json () with
+  | Obs.Json.Assoc kvs ->
+    Alcotest.(check bool) "envelope version 2" true
+      (List.assoc_opt "version" kvs = Some (Obs.Json.Int 2));
+    (match List.assoc_opt "histograms" kvs with
+     | Some (Obs.Json.Assoc hs) ->
+       Alcotest.(check bool) "histogram present in stats" true
+         (List.mem_assoc "test.hist_export" hs)
+     | _ -> Alcotest.fail "stats_json has no histograms object")
+  | _ -> Alcotest.fail "stats_json is not an object"
+
 let () =
   Alcotest.run "obs"
     [ ( "counters",
@@ -373,6 +471,12 @@ let () =
           Alcotest.test_case "emission order" `Quick test_trace_emission_order;
           Alcotest.test_case "json roundtrip" `Quick test_trace_json_roundtrip;
           Alcotest.test_case "write file" `Quick test_trace_write_file
+        ] );
+      ( "histograms",
+        [ Alcotest.test_case "quantile accuracy" `Quick test_hist_quantile_accuracy;
+          Alcotest.test_case "floor bucket" `Quick test_hist_floor_and_extremes;
+          Alcotest.test_case "deterministic merge" `Quick test_hist_merge_deterministic;
+          Alcotest.test_case "export" `Quick test_hist_export
         ] );
       ( "pipeline",
         [ Alcotest.test_case "counters move" `Quick test_scheduler_counters_move;

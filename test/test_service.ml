@@ -102,6 +102,50 @@ let test_pool_parallelizable () =
   Alcotest.(check (list int)) "sequential path is order-preserving" xs
     (Service.Pool.map ~jobs:1 Fun.id xs)
 
+(* histograms captured per worker and merged in task-index order must be
+   bit-identical to a sequential run — count, fixed-point sum, min, max
+   and every bucket — whatever the job count *)
+let test_pool_histogram_determinism () =
+  let hist = Obs.Histogram.create "test.pool_hist" in
+  let f x =
+    Obs.Histogram.observe hist (float_of_int ((x * 7919 mod 97) + 1) *. 1e-5);
+    x
+  in
+  let xs = List.init 48 Fun.id in
+  let snap jobs =
+    reset ();
+    ignore (Service.Pool.map ~jobs f xs);
+    Option.get (Obs.Histogram.find "test.pool_hist")
+  in
+  let s1 = snap 1 in
+  Alcotest.(check int) "every task observed" 48 s1.Obs.Histogram.count;
+  Alcotest.(check bool) "--jobs 2 bit-identical" true (s1 = snap 2);
+  Alcotest.(check bool) "--jobs 8 bit-identical" true (s1 = snap 8)
+
+(* the coordinator's request id rides into the workers: trace events a
+   task emits carry the same "req" field the dispatching request does *)
+let test_pool_request_propagation () =
+  reset ();
+  Obs.Trace.enable ();
+  Obs.Trace.clear ();
+  ignore
+    (Obs.Trace.with_request "req-42" (fun () ->
+         Service.Pool.map ~jobs:2
+           (fun x ->
+             Obs.Trace.emit "test.task" [ ("x", Obs.Json.Int x) ];
+             x)
+           (List.init 6 Fun.id)));
+  let evs =
+    List.filter (fun e -> e.Obs.Trace.kind = "test.task") (Obs.Trace.events ())
+  in
+  Obs.Trace.disable ();
+  Alcotest.(check int) "all tasks traced" 6 (List.length evs);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "req field carried into worker" true
+        (List.assoc_opt "req" e.Obs.Trace.fields = Some (Obs.Json.String "req-42")))
+    evs
+
 (* ------------------------------------------------------------------ *)
 (* Cache                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -287,28 +331,39 @@ let test_suite_determinism_across_jobs () =
 (* Serve                                                                *)
 (* ------------------------------------------------------------------ *)
 
+let has needle hay =
+  Alcotest.(check bool) (Printf.sprintf "reply contains %s" needle) true
+    (let re = Str.regexp_string needle in
+     try ignore (Str.search_forward re hay 0); true with Not_found -> false)
+
+(* per-request wall-clock fields differ between otherwise-identical
+   replies; drop them before comparing *)
+let scrub reply =
+  match Obs.Json.of_string reply with
+  | Ok (Obs.Json.Assoc kvs) ->
+    Obs.Json.to_string
+      (Obs.Json.Assoc
+         (List.filter (fun (k, _) -> k <> "elapsed_us" && k <> "spans") kvs))
+  | _ -> reply
+
 let test_serve_requests () =
   reset ();
   let cache = Service.Cache.open_ (fresh_dir ()) in
   let h = Service.Serve.make_handler ~cache ~find_op:find_classic () in
   let reply line = Service.Serve.handle_line h line in
-  let has needle hay =
-    Alcotest.(check bool) (Printf.sprintf "reply contains %s" needle) true
-      (let re = Str.regexp_string needle in
-       try ignore (Str.search_forward re hay 0); true with Not_found -> false)
-  in
-  let r1 = reply {|{"op":"fig2"}|} in
+  let r1 = reply {|{"op":"fig2","id":"t"}|} in
   has {|"status":"ok"|} r1;
   has {|"cached":false|} r1;
   has {|"legal":true|} r1;
-  let r2 = reply {|{"op":"fig2"}|} in
+  let r2 = reply {|{"op":"fig2","id":"t"}|} in
   has {|"status":"ok"|} r2;
   has {|"cached":true|} r2;
   (* identical digests prove the reply really came back from the entry *)
   has {|"digest"|} r2;
   Alcotest.(check string) "cached reply matches computed reply"
-    (Str.global_replace (Str.regexp_string {|"cached":false|}) {|"cached":true|} r1)
-    r2;
+    (Str.global_replace (Str.regexp_string {|"cached":false|}) {|"cached":true|}
+       (scrub r1))
+    (scrub r2);
   let r3 = reply "this is not json" in
   has {|"status":"error"|} r3;
   has {|parse|} r3;
@@ -320,13 +375,106 @@ let test_serve_requests () =
   Alcotest.(check int) "every request counted" 5 (counter "service.serve_requests");
   Alcotest.(check int) "errors counted" 3 (counter "service.serve_errors")
 
+let test_serve_guards () =
+  reset ();
+  let h = Service.Serve.make_handler ~max_request_bytes:64 ~find_op:find_classic () in
+  let reply line = Service.Serve.handle_line h line in
+  let r_blank = reply "" in
+  has {|"status":"error"|} r_blank;
+  has {|empty request|} r_blank;
+  let r_ws = reply "   " in
+  has {|empty request|} r_ws;
+  let r_big = reply (String.make 100 'x') in
+  has {|"status":"error"|} r_big;
+  has {|request too large|} r_big;
+  let r_verb = reply {|{"verb":"frobnicate"}|} in
+  has {|"status":"error"|} r_verb;
+  has {|unknown verb|} r_verb;
+  let r_verb_ty = reply {|{"verb":42}|} in
+  has {|verb must be a string|} r_verb_ty;
+  Alcotest.(check int) "all guarded requests counted" 5
+    (counter "service.serve_requests");
+  Alcotest.(check int) "every guard is a structured error" 5
+    (counter "service.serve_errors")
+
+let test_serve_verbs_and_ids () =
+  reset ();
+  let cache = Service.Cache.open_ (fresh_dir ()) in
+  let h = Service.Serve.make_handler ~cache ~find_op:find_classic () in
+  let reply line = Service.Serve.handle_line h line in
+  (* explicit ids are echoed, string or int; missing ids are assigned *)
+  let r_health = reply {|{"verb":"health","id":"probe-1"}|} in
+  has {|"status":"ok"|} r_health;
+  has {|"id":"probe-1"|} r_health;
+  has {|"health":"ok"|} r_health;
+  has {|"uptime_s"|} r_health;
+  has {|"entries"|} r_health;
+  let r_int_id = reply {|{"verb":"health","id":7}|} in
+  has {|"id":"7"|} r_int_id;
+  let auto_id r =
+    let _ = Str.search_forward (Str.regexp {|"id":"\([^"]*\)"|}) r 0 in
+    Str.matched_group 1 r
+  in
+  let a1 = auto_id (reply {|{"verb":"health"}|}) in
+  let a2 = auto_id (reply {|{"verb":"health"}|}) in
+  Alcotest.(check bool) "auto ids distinct" false (a1 = a2);
+  (* the metrics verb returns the full exposition, counters included *)
+  let r_metrics = reply {|{"verb":"metrics","id":"m"}|} in
+  has {|"status":"ok"|} r_metrics;
+  has {|"id":"m"|} r_metrics;
+  has {|akg_service_serve_requests_total|} r_metrics;
+  has {|akg_serve_request_seconds_bucket|} r_metrics;
+  has {|akg_service_cache_entries|} r_metrics;
+  (* compile replies carry their own timing breakdown *)
+  let r_compile = reply {|{"op":"fig2","id":"c"}|} in
+  has {|"status":"ok"|} r_compile;
+  has {|"elapsed_us"|} r_compile;
+  has {|"spans"|} r_compile;
+  (* and the latency histograms saw every request *)
+  let s = Option.get (Obs.Histogram.find "serve.request_seconds") in
+  Alcotest.(check int) "request histogram counts all verbs" 6 s.Obs.Histogram.count;
+  let sc = Option.get (Obs.Histogram.find "serve.compile_seconds") in
+  Alcotest.(check int) "compile histogram counts compiles only" 1 sc.Obs.Histogram.count
+
+(* the serve loop answers every line — blank included — so request and
+   reply counts always match *)
+let test_serve_loop_blank_lines () =
+  reset ();
+  let h = Service.Serve.make_handler ~find_op:find_classic () in
+  let dir = Filename.get_temp_dir_name () in
+  let in_file = Filename.temp_file ~temp_dir:dir "serve_in" ".jsonl" in
+  let out_file = Filename.temp_file ~temp_dir:dir "serve_out" ".jsonl" in
+  let oc = open_out in_file in
+  output_string oc "{\"verb\":\"health\"}\n\n{\"verb\":\"health\"}\n";
+  close_out oc;
+  let ic = open_in in_file and out = open_out out_file in
+  Service.Serve.serve h ic out;
+  close_in ic;
+  close_out out;
+  let ic = open_in out_file in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  Alcotest.(check int) "one reply per input line" 3 (List.length lines);
+  has {|empty request|} (List.nth lines 1);
+  has {|"health":"ok"|} (List.nth lines 2);
+  Sys.remove in_file;
+  Sys.remove out_file
+
 let () =
   Alcotest.run "service"
     [ ("key", [ Alcotest.test_case "stability" `Quick test_key_stability ]);
       ( "pool",
         [ Alcotest.test_case "order and counters" `Quick test_pool_order_and_counters;
           Alcotest.test_case "exceptions" `Quick test_pool_exception;
-          Alcotest.test_case "parallelizable guard" `Quick test_pool_parallelizable
+          Alcotest.test_case "parallelizable guard" `Quick test_pool_parallelizable;
+          Alcotest.test_case "histogram determinism" `Quick
+            test_pool_histogram_determinism;
+          Alcotest.test_case "request propagation" `Quick test_pool_request_propagation
         ] );
       ( "cache",
         [ Alcotest.test_case "roundtrip" `Quick test_cache_roundtrip;
@@ -339,5 +487,11 @@ let () =
           Alcotest.test_case "corrupt entry" `Quick test_batch_corrupt_entry_recomputes;
           Alcotest.test_case "jobs determinism" `Quick test_suite_determinism_across_jobs
         ] );
-      ("serve", [ Alcotest.test_case "scripted requests" `Quick test_serve_requests ])
+      ( "serve",
+        [ Alcotest.test_case "scripted requests" `Quick test_serve_requests;
+          Alcotest.test_case "input guards" `Quick test_serve_guards;
+          Alcotest.test_case "verbs and ids" `Quick test_serve_verbs_and_ids;
+          Alcotest.test_case "loop answers blank lines" `Quick
+            test_serve_loop_blank_lines
+        ] )
     ]
