@@ -209,14 +209,31 @@ let with_op f name =
 (* shared pipeline helpers                                              *)
 (* ------------------------------------------------------------------ *)
 
-type version = Isl | Novec | Infl
+type version = Isl | Novec | Infl | Tiled
 
 let version_conv =
-  Arg.enum [ ("isl", Isl); ("novec", Novec); ("infl", Infl) ]
+  Arg.enum [ ("isl", Isl); ("novec", Novec); ("infl", Infl); ("tiled", Tiled) ]
 
 let version_arg =
-  let doc = "Compiler version: isl (baseline), novec, or infl." in
+  let doc = "Compiler version: isl (baseline), novec, infl, or tiled." in
   Arg.(value & opt version_conv Infl & info [ "version"; "v" ] ~doc)
+
+let tile_flag =
+  let doc =
+    "Shorthand for $(b,--version tiled): schedule under the tiling influence tree \
+     (tile-shape constraints injected through the same channel as the vectorizer's) \
+     and lower unvectorized."
+  in
+  Arg.(value & flag & info [ "tile" ] ~doc)
+
+let tile_sizes_arg =
+  let doc =
+    "Override tile shapes in the backend tiling pass as $(i,ROW:SIZE) pairs keyed by \
+     schedule row, e.g. $(b,0:8,1:16).  Applies to any version and takes precedence \
+     over the schedule's injected $(b,tile_sizes) annotation; malformed pairs and \
+     sizes below 2 are dropped."
+  in
+  Arg.(value & opt (some string) None & info [ "tile-sizes" ] ~docv:"SPEC" ~doc)
 
 let strategy_arg =
   let doc =
@@ -232,21 +249,33 @@ let strategy_arg =
         Scheduling.Scheduler.default_config.Scheduling.Scheduler.strategy
     & info [ "strategy" ] ~docv:"S" ~doc)
 
-let compile ?strategy version k =
+let compile ?strategy ?(tile = false) ?tile_spec version k =
+  let version = if tile then Tiled else version in
   let config =
     match strategy with
     | None -> Scheduling.Scheduler.default_config
     | Some strategy -> { Scheduling.Scheduler.default_config with strategy }
   in
+  let tile_sizes =
+    Option.map
+      (fun spec ->
+        let pairs = Scheduling.Tiling.parse_sizes spec in
+        fun dim -> List.assoc_opt dim pairs)
+      tile_spec
+  in
+  let lower ~vectorize sched = Codegen.Compile.lower ~vectorize ?tile_sizes sched k in
   match version with
   | Isl ->
     let sched, stats = Scheduling.Scheduler.schedule ~config k in
-    (sched, stats, Codegen.Compile.lower ~vectorize:false sched k)
+    (sched, stats, lower ~vectorize:false sched)
   | Novec | Infl ->
     let tree = Vectorizer.Treegen.influence_for k in
     let sched, stats = Scheduling.Scheduler.schedule ~config ~influence:tree k in
-    let vectorize = version = Infl in
-    (sched, stats, Codegen.Compile.lower ~vectorize sched k)
+    (sched, stats, lower ~vectorize:(version = Infl) sched)
+  | Tiled ->
+    let tree = Scheduling.Tiling.influence_for k in
+    let sched, stats = Scheduling.Scheduler.schedule ~config ~influence:tree k in
+    (sched, stats, lower ~vectorize:false sched)
 
 (* ------------------------------------------------------------------ *)
 (* commands                                                             *)
@@ -284,15 +313,22 @@ let schedule_cmd =
   let tree_flag =
     Arg.(value & flag & info [ "tree" ] ~doc:"Also print the influence constraint tree.")
   in
-  let run name version strategy tree verbose o =
+  let run name version strategy tile tile_spec tree verbose o =
     setup_logs verbose;
     with_obs o @@ fun () ->
     with_op
       (fun k ->
-        (if tree && version <> Isl then
-           Format.printf "influence tree:@.%a@." Scheduling.Influence.pp
-             (Vectorizer.Treegen.influence_for k));
-        let sched, stats, _ = compile ~strategy version k in
+        let version = if tile then Tiled else version in
+        (if tree then
+           match version with
+           | Isl -> ()
+           | Tiled ->
+             Format.printf "influence tree:@.%a@." Scheduling.Influence.pp
+               (Scheduling.Tiling.influence_for k)
+           | Novec | Infl ->
+             Format.printf "influence tree:@.%a@." Scheduling.Influence.pp
+               (Vectorizer.Treegen.influence_for k));
+        let sched, stats, _ = compile ~strategy ?tile_spec version k in
         Format.printf "%a@." Scheduling.Schedule.pp sched;
         Format.printf
           "stats: %d ILP solves, %d loop dims, %d scalar dims, %d sibling moves, %d backtracks, %d SCC separations, abandoned %b@."
@@ -310,33 +346,33 @@ let schedule_cmd =
   in
   Cmd.v (Cmd.info "schedule" ~doc:"Schedule an operator and check legality")
     Term.(
-      const run $ op_arg $ version_arg $ strategy_arg $ tree_flag $ verbose_arg
-      $ obs_term)
+      const run $ op_arg $ version_arg $ strategy_arg $ tile_flag $ tile_sizes_arg
+      $ tree_flag $ verbose_arg $ obs_term)
 
 let codegen_cmd =
-  let run name version o =
+  let run name version tile tile_spec o =
     with_obs o @@ fun () ->
     with_op
       (fun k ->
-        let _, _, c = compile version k in
+        let _, _, c = compile ~tile ?tile_spec version k in
         print_string (Codegen.Cuda.emit c))
       name
   in
   Cmd.v (Cmd.info "codegen" ~doc:"Print generated CUDA-like code")
-    Term.(const run $ op_arg $ version_arg $ obs_term)
+    Term.(const run $ op_arg $ version_arg $ tile_flag $ tile_sizes_arg $ obs_term)
 
 let simulate_cmd =
-  let run name version o =
+  let run name version tile tile_spec o =
     with_obs o @@ fun () ->
     with_op
       (fun k ->
-        let _, _, c = compile version k in
+        let _, _, c = compile ~tile ?tile_spec version k in
         Format.printf "%s@." (Format.asprintf "%a" Codegen.Mapping.pp c.Codegen.Compile.mapping);
         Format.printf "%a@." Gpusim.Sim.pp (Gpusim.Sim.run c))
       name
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Run the GPU performance model")
-    Term.(const run $ op_arg $ version_arg $ obs_term)
+    Term.(const run $ op_arg $ version_arg $ tile_flag $ tile_sizes_arg $ obs_term)
 
 let eval_cmd =
   let run name jobs cache tuned strategy o =
@@ -353,14 +389,17 @@ let eval_cmd =
           | _ -> assert false
         in
         Format.printf
-          "isl %.2fus  tvm %.2fus  novec %.2fus  infl %.2fus  (influenced %b, vec %b)@."
-          r.Harness.Eval.isl_us r.tvm_us r.novec_us r.infl_us r.influenced r.vec;
-        Format.printf "speedups over isl: tvm %.2f  novec %.2f  infl %.2f@."
-          (r.isl_us /. r.tvm_us) (r.isl_us /. r.novec_us) (r.isl_us /. r.infl_us);
+          "isl %.2fus  tvm %.2fus  novec %.2fus  infl %.2fus  tiled %.2fus  \
+           (influenced %b, vec %b, tiled %b)@."
+          r.Harness.Eval.isl_us r.tvm_us r.novec_us r.infl_us r.tiled_us r.influenced
+          r.vec r.tiled;
+        Format.printf "speedups over isl: tvm %.2f  novec %.2f  infl %.2f  tiled %.2f@."
+          (r.isl_us /. r.tvm_us) (r.isl_us /. r.novec_us) (r.isl_us /. r.infl_us)
+          (r.isl_us /. r.tiled_us);
         if o.stats then Harness.Tables.stats_table Format.std_formatter [ r ])
       name
   in
-  Cmd.v (Cmd.info "eval" ~doc:"Compare the four compiler versions on one operator")
+  Cmd.v (Cmd.info "eval" ~doc:"Compare the five compiler versions on one operator")
     Term.(const run $ op_arg $ jobs_arg $ cache_arg $ tuned_arg $ strategy_arg $ obs_term)
 
 let check_cmd =
@@ -378,7 +417,7 @@ let check_cmd =
             Format.printf "%-6s %s@." label
               (if Interp.equal m1 m2 then "MATCH"
                else Printf.sprintf "MISMATCH (max diff %g)" (Interp.max_abs_diff m1 m2)))
-          [ ("isl", Isl); ("novec", Novec); ("infl", Infl) ])
+          [ ("isl", Isl); ("novec", Novec); ("infl", Infl); ("tiled", Tiled) ])
       name
   in
   Cmd.v
@@ -651,11 +690,19 @@ let fuzz_cmd =
     Arg.(value & opt float Fuzz.Generate.default_config.Fuzz.Generate.skew
          & info [ "skew" ] ~docv:"P" ~doc)
   in
-  let run seed count replay out max_stmts max_rank max_extent skew jobs strategy o =
+  let max_tile_size_arg =
+    let doc =
+      "Cap the per-dimension tile sizes the tiled version's influence tree proposes \
+       (also applied on $(b,--replay))."
+    in
+    Arg.(value & opt (some int) None & info [ "max-tile-size" ] ~docv:"T" ~doc)
+  in
+  let run seed count replay out max_stmts max_rank max_extent skew max_tile_size jobs
+      strategy o =
     with_obs o @@ fun () ->
     match replay with
     | Some file -> (
-      match Fuzz.replay ~strategy file with
+      match Fuzz.replay ~strategy ?max_tile_size file with
       | Error e ->
         Format.eprintf "fuzz: %s@." e;
         2
@@ -677,8 +724,8 @@ let fuzz_cmd =
           (match r.Fuzz.file with Some f -> "\n  replay file: " ^ f | None -> "")
       in
       let report =
-        Fuzz.run ~config ~out_dir:out ~strategy ~progress ~jobs:(resolve_jobs jobs)
-          ~seed ~count ()
+        Fuzz.run ~config ~out_dir:out ~strategy ?max_tile_size ~progress
+          ~jobs:(resolve_jobs jobs) ~seed ~count ()
       in
       let nfail = List.length report.Fuzz.failures in
       Format.printf "fuzz: %d cases, %d failures (seed %d)@." report.Fuzz.count nfail
@@ -688,12 +735,13 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
-         "Differentially fuzz the pipeline: random fused kernels through isl, novec and \
-          infl, checking interpreter bit-equality, schedule legality and AST \
+         "Differentially fuzz the pipeline: random fused kernels through isl, novec, \
+          infl and tiled, checking interpreter bit-equality, schedule legality and AST \
           well-formedness; failures are shrunk to minimal replayable cases")
     Term.(
       const run $ seed_arg $ count_arg $ replay_arg $ out_arg $ max_stmts_arg
-      $ max_rank_arg $ max_extent_arg $ skew_arg $ jobs_arg $ strategy_arg $ obs_term)
+      $ max_rank_arg $ max_extent_arg $ skew_arg $ max_tile_size_arg $ jobs_arg
+      $ strategy_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* trace analytics: report / diff                                       *)
@@ -907,8 +955,8 @@ let perf_diff_cmd =
          [ `S Manpage.s_description;
            `P
              "Both files must carry the same bench schema \
-              (akg-repro-bench-service/-fastpath/-tune/-serve-load, or the PR-2 micro \
-              format).  Deterministic count metrics (ILP solves, serve errors) regress \
+              (akg-repro-bench-service/-fastpath/-tune/-tiling/-serve-load, or the \
+              PR-2 micro format).  Deterministic count metrics (ILP solves, serve errors) regress \
               on any movement in the bad direction; timing metrics (rps, p50/p99, \
               wall-clock) only regress beyond $(b,--tolerance).  Metrics present on one \
               side only are reported as added/removed and exit 1, never 2."

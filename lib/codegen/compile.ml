@@ -18,7 +18,8 @@ let pass name kernel_name f =
       ]);
   r
 
-let lower ?(vectorize = true) ?vec_min_parallel ?tile_sizes ?max_threads schedule kernel =
+let lower ?(vectorize = true) ?vec_min_parallel ?tile_sizes ?tile_fault ?max_threads
+    schedule kernel =
   Obs.Span.with_ "codegen.lower" @@ fun () ->
   Obs.Counters.incr c_lowerings;
   let name = kernel.Ir.Kernel.name in
@@ -30,10 +31,19 @@ let lower ?(vectorize = true) ?vec_min_parallel ?tile_sizes ?max_threads schedul
           Vectorpass.apply ?min_parallel:vec_min_parallel schedule kernel ast)
     else ast
   in
+  (* Explicit [tile_sizes] win; otherwise honour the tile-shape annotation
+     the scheduling-level tiling client injected through the influence
+     tree (absent on untiled schedules, so this is a no-op for them). *)
+  let tile_sizes =
+    match tile_sizes with
+    | Some _ -> tile_sizes
+    | None -> Scheduling.Tiling.sizes_of_schedule schedule
+  in
   let ast =
     match tile_sizes with
     | None -> ast
-    | Some sizes -> pass "tiling" name (fun () -> Tiling.apply ~sizes schedule kernel ast)
+    | Some sizes ->
+      pass "tiling" name (fun () -> Tiling.apply ?fault:tile_fault ~sizes schedule kernel ast)
   in
   let mapping, ast =
     pass "mapping" name (fun () ->

@@ -10,9 +10,12 @@ type compiled = {
 
 val lower :
   ?vectorize:bool -> ?vec_min_parallel:int -> ?tile_sizes:(int -> int option) ->
-  ?max_threads:int -> Scheduling.Schedule.t -> Ir.Kernel.t -> compiled
+  ?tile_fault:Tiling.fault -> ?max_threads:int -> Scheduling.Schedule.t ->
+  Ir.Kernel.t -> compiled
 (** Pipeline: AST generation, per-loop parallelism refinement, explicit
     vectorization (when [vectorize], honouring the schedule's influence
-    annotations), optional tiling of permutable bands ([tile_sizes] per
-    schedule dimension), block/thread mapping (which never considers
-    vectorized dimensions). *)
+    annotations), tiling of permutable bands ([tile_sizes] per schedule
+    dimension, defaulting to the schedule's ["tile_sizes"] annotation when
+    the tiling influence client injected one), block/thread mapping (which
+    never considers vectorized dimensions).  [tile_fault] is the fuzzer's
+    broken-tiler fault injection; see {!Tiling.fault}. *)

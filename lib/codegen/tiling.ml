@@ -42,8 +42,21 @@ let rec collect_chain (l : Ast.loop) =
 
 let tile_var d = Printf.sprintf "t%dT" d
 
-let apply ~sizes sched kernel ast =
+type fault = Off_by_one
+
+let c_applied =
+  Obs.Counters.create "tiling.chains_tiled" ~doc:"loop chains rewritten into tile/point loops"
+
+let c_refused =
+  Obs.Counters.create "tiling.chains_refused"
+    ~doc:"tile-annotated chains refused by the permutability re-check"
+
+let apply ?fault ~sizes sched kernel ast =
   let deps = Deps.Analysis.dependences kernel in
+  (* [fault] is deliberate fault injection for the fuzzer's broken-tiler
+     canary: Off_by_one drops the last point of every tile, a semantic
+     change the differential interpreter check must catch. *)
+  let point_slack = match fault with Some Off_by_one -> 2 | None -> 1 in
   let rec go t =
     match t with
     | Ast.Stmts l -> Ast.Stmts (List.map go l)
@@ -61,8 +74,12 @@ let apply ~sizes sched kernel ast =
       else begin
         let dims = List.map (fun (c : Ast.loop) -> c.Ast.dim) chain in
         let stmts = Ast.stmts_of (Ast.For l) in
-        if not (band_permutable sched kernel deps ~dims ~stmts) then descend t
+        if not (band_permutable sched kernel deps ~dims ~stmts) then begin
+          Obs.Counters.incr c_refused;
+          descend t
+        end
         else begin
+          Obs.Counters.incr c_applied;
           (* point loops, innermost body first rebuilt outward *)
           let body = go innermost_body in
           let point =
@@ -76,7 +93,7 @@ let apply ~sizes sched kernel ast =
                       Ast.lower = [ Linexpr.var tv ];
                       upper =
                         c.Ast.upper
-                        @ [ Linexpr.add_term Q.one tv (Linexpr.const_int (s - 1)) ];
+                        @ [ Linexpr.add_term Q.one tv (Linexpr.const_int (s - point_slack)) ];
                       trip_hint = Some s;
                       body = acc
                     }
@@ -110,3 +127,9 @@ let apply ~sizes sched kernel ast =
 
 let tile_all ~size sched kernel ast =
   apply ~sizes:(fun _ -> Some size) sched kernel ast
+
+let rec applied = function
+  | Ast.Stmts l -> List.exists applied l
+  | Ast.If (_, b) -> applied b
+  | Ast.For l -> l.Ast.dim <= -500 || applied l.Ast.body
+  | Ast.Exec _ | Ast.VecExec _ -> false

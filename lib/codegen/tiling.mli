@@ -21,9 +21,15 @@ val band_permutable :
     statements (non-negative difference on every dimension for every
     dependence among them, in the context of equal outer dimensions). *)
 
+type fault = Off_by_one
+(** Deliberate fault injection for the fuzzer's broken-tiler canary:
+    [Off_by_one] shrinks every point loop by one iteration, dropping the
+    last point of each tile — a semantic break the differential
+    interpreter check must detect and shrink.  Never set outside tests. *)
+
 val apply :
-  sizes:(int -> int option) -> Scheduling.Schedule.t -> Ir.Kernel.t ->
-  Ast.t -> Ast.t
+  ?fault:fault -> sizes:(int -> int option) -> Scheduling.Schedule.t ->
+  Ir.Kernel.t -> Ast.t -> Ast.t
 (** Tiles every maximal chain of directly-nested, unit-step loops forming a
     permutable band.  [sizes dim] gives the tile size for a schedule
     dimension ([None] or sizes <= 1 leave the dimension untiled).  Chains
@@ -31,3 +37,7 @@ val apply :
 
 val tile_all : size:int -> Scheduling.Schedule.t -> Ir.Kernel.t -> Ast.t -> Ast.t
 (** [apply] with the same size for every dimension. *)
+
+val applied : Ast.t -> bool
+(** Whether the AST contains tile loops (the negative-dimension loops this
+    pass synthesizes) — how callers report a schedule as actually tiled. *)

@@ -1,12 +1,18 @@
-type version = Isl | Novec | Infl
+type version = Isl | Novec | Infl | Tiled
 
-let versions = [ Isl; Novec; Infl ]
-let version_name = function Isl -> "isl" | Novec -> "novec" | Infl -> "infl"
+let versions = [ Isl; Novec; Infl; Tiled ]
+
+let version_name = function
+  | Isl -> "isl"
+  | Novec -> "novec"
+  | Infl -> "infl"
+  | Tiled -> "tiled"
 
 let version_of_name = function
   | "isl" -> Some Isl
   | "novec" -> Some Novec
   | "infl" -> Some Infl
+  | "tiled" -> Some Tiled
   | _ -> None
 
 type stage = Convert | Schedule | Legality | Lower | Structure | Semantics
@@ -94,7 +100,8 @@ let guard version stage f =
   with e -> Error { version; stage; message = Printexc.to_string e }
 
 let check_version ?(perturb = fun _ s -> s)
-    ?(strategy = Scheduling.Scheduler.default_config.strategy) k deps version =
+    ?(strategy = Scheduling.Scheduler.default_config.strategy) ?max_tile_size
+    ?tile_fault k deps version =
   let config = { Scheduling.Scheduler.default_config with strategy } in
   let* sched =
     guard version Schedule (fun () ->
@@ -103,6 +110,9 @@ let check_version ?(perturb = fun _ s -> s)
           | Isl -> fst (Scheduling.Scheduler.schedule ~config k)
           | Novec | Infl ->
             let tree = Vectorizer.Treegen.influence_for k in
+            fst (Scheduling.Scheduler.schedule ~config ~influence:tree k)
+          | Tiled ->
+            let tree = Scheduling.Tiling.influence_for ?max_tile_size k in
             fst (Scheduling.Scheduler.schedule ~config ~influence:tree k)
         in
         Ok (perturb version s))
@@ -115,7 +125,10 @@ let check_version ?(perturb = fun _ s -> s)
   in
   let* c =
     guard version Lower (fun () ->
-        Ok (Codegen.Compile.lower ~vectorize:(version = Infl) sched k))
+        (* [tile_fault] only reaches the version that tiles, so a broken
+           tiler shows up as a tiled-version failure, not an isl one. *)
+        let tile_fault = if version = Tiled then tile_fault else None in
+        Ok (Codegen.Compile.lower ~vectorize:(version = Infl) ?tile_fault sched k))
   in
   let* () =
     match well_formed c with
@@ -137,14 +150,16 @@ let check_version ?(perturb = fun _ s -> s)
                 (Interp.max_abs_diff m1 m2)
           })
 
-let run ?perturb ?strategy k =
+let run ?perturb ?strategy ?max_tile_size ?tile_fault k =
   let* deps = guard Isl Schedule (fun () -> Ok (Deps.Analysis.dependences k)) in
   List.fold_left
     (fun acc v ->
-      match acc with Error _ -> acc | Ok () -> check_version ?perturb ?strategy k deps v)
+      match acc with
+      | Error _ -> acc
+      | Ok () -> check_version ?perturb ?strategy ?max_tile_size ?tile_fault k deps v)
     (Ok ()) versions
 
-let run_case ?perturb ?strategy case =
+let run_case ?perturb ?strategy ?max_tile_size ?tile_fault case =
   match Case.to_kernel case with
   | Error m -> Error { version = Isl; stage = Convert; message = m }
-  | Ok k -> run ?perturb ?strategy k
+  | Ok k -> run ?perturb ?strategy ?max_tile_size ?tile_fault k

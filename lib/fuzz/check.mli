@@ -1,16 +1,17 @@
-(** The differential oracle: one kernel through the full pipeline, three
-    compiler versions, three independent checks.
+(** The differential oracle: one kernel through the full pipeline, four
+    compiler versions, independent checks per version.
 
     For each of {b isl} (baseline schedule, no vectorization),
-    {b novec} (influenced schedule, no explicit vector types) and
-    {b infl} (influenced + vectorpass), the driver runs scheduling,
-    legality validation, lowering, a structural well-formedness pass over
-    the emitted AST, and a bit-for-bit comparison of
-    {!Interp.run_original} against {!Interp.run_ast}.  The first failing
-    stage is reported; exceptions anywhere in the pipeline are caught and
-    attributed to the stage that raised. *)
+    {b novec} (influenced schedule, no explicit vector types),
+    {b infl} (influenced + vectorpass) and {b tiled} (tiling-influenced
+    schedule, backend tiling pass, no vectorization), the driver runs
+    scheduling, legality validation, lowering, a structural
+    well-formedness pass over the emitted AST, and a bit-for-bit
+    comparison of {!Interp.run_original} against {!Interp.run_ast}.  The
+    first failing stage is reported; exceptions anywhere in the pipeline
+    are caught and attributed to the stage that raised. *)
 
-type version = Isl | Novec | Infl
+type version = Isl | Novec | Infl | Tiled
 
 val versions : version list
 val version_name : version -> string
@@ -36,16 +37,23 @@ val well_formed : Codegen.Compile.compiled -> (unit, string) result
 val run :
   ?perturb:(version -> Scheduling.Schedule.t -> Scheduling.Schedule.t) ->
   ?strategy:Scheduling.Scheduler.strategy ->
+  ?max_tile_size:int ->
+  ?tile_fault:Codegen.Tiling.fault ->
   Ir.Kernel.t ->
   (unit, failure) result
-(** Pushes the kernel through all three versions; [perturb] rewrites each
+(** Pushes the kernel through all four versions; [perturb] rewrites each
     computed schedule before validation and lowering (the hook tests use
     to inject a deliberately-broken scheduler); [strategy] selects the
-    scheduling strategy (default: the scheduler's default). *)
+    scheduling strategy (default: the scheduler's default).
+    [max_tile_size] caps the tile shapes the tiled version's influence
+    tree proposes; [tile_fault] injects {!Codegen.Tiling.fault} into the
+    tiled version only — the broken-tiler canary. *)
 
 val run_case :
   ?perturb:(version -> Scheduling.Schedule.t -> Scheduling.Schedule.t) ->
   ?strategy:Scheduling.Scheduler.strategy ->
+  ?max_tile_size:int ->
+  ?tile_fault:Codegen.Tiling.fault ->
   Case.t ->
   (unit, failure) result
 (** {!Case.to_kernel} followed by {!run}; conversion errors surface as a

@@ -94,10 +94,11 @@ let load_case file =
             | Ok case -> Ok (case, f))))
       | _ -> Error (Printf.sprintf "%s: not an %s document" file schema_name)))
 
-let replay ?perturb ?strategy file =
+let replay ?perturb ?strategy ?max_tile_size ?tile_fault file =
   match load_case file with
   | Error e -> Error e
-  | Ok (case, _) -> Ok (case, Check.run_case ?perturb ?strategy case)
+  | Ok (case, _) ->
+    Ok (case, Check.run_case ?perturb ?strategy ?max_tile_size ?tile_fault case)
 
 (* ------------------------------------------------------------------ *)
 (* the fuzz loop                                                        *)
@@ -113,7 +114,8 @@ let case_stats case =
   in
   (stmts, rank)
 
-let run ?config ?out_dir ?perturb ?strategy ?(progress = fun _ -> ()) ?(jobs = 1) ~seed ~count () =
+let run ?config ?out_dir ?perturb ?strategy ?max_tile_size ?tile_fault
+    ?(progress = fun _ -> ()) ?(jobs = 1) ~seed ~count () =
   (* Phase 1 — generate + differentially check, sharded across the pool.
      A case is a pure function of (seed, index) and the interpreter inputs
      are derived from a fixed seed, so the set of failing indices is
@@ -127,7 +129,7 @@ let run ?config ?out_dir ?perturb ?strategy ?(progress = fun _ -> ()) ?(jobs = 1
         [ ("seed", J.Int seed); ("index", J.Int index); ("stmts", J.Int stmts);
           ("rank", J.Int rank)
         ]);
-    (index, case, Check.run_case ?perturb ?strategy case)
+    (index, case, Check.run_case ?perturb ?strategy ?max_tile_size ?tile_fault case)
   in
   let checked = Service.Pool.map ~jobs check_one (List.init count Fun.id) in
   (* Phase 2 — shrink failures sequentially, in index order: shrinking is
@@ -143,7 +145,7 @@ let run ?config ?out_dir ?perturb ?strategy ?(progress = fun _ -> ()) ?(jobs = 1
           (* shrink towards the same (version, stage) failure so the
              minimized kernel reproduces the original defect, not a new one *)
           let still_fails c =
-            match Check.run_case ?perturb ?strategy c with
+            match Check.run_case ?perturb ?strategy ?max_tile_size ?tile_fault c with
             | Error f ->
               f.Check.version = failure.Check.version
               && f.Check.stage = failure.Check.stage

@@ -40,6 +40,8 @@ val run :
   ?out_dir:string ->
   ?perturb:(Check.version -> Scheduling.Schedule.t -> Scheduling.Schedule.t) ->
   ?strategy:Scheduling.Scheduler.strategy ->
+  ?max_tile_size:int ->
+  ?tile_fault:Codegen.Tiling.fault ->
   ?progress:(failure_report -> unit) ->
   ?jobs:int ->
   seed:int ->
@@ -52,7 +54,10 @@ val run :
     [fuzz_<seed>_<index>.json] (the directory is created on first
     failure).  [perturb] rewrites every computed schedule before
     validation — the hook used to prove the fuzzer catches a broken
-    scheduler.  [progress] is called after each failure is minimized.
+    scheduler.  [max_tile_size] caps the tiled version's tile shapes;
+    [tile_fault] injects a deliberate backend tiling bug into the tiled
+    version only — the hook used to prove the fuzzer catches a broken
+    tiler.  [progress] is called after each failure is minimized.
 
     [jobs > 1] shards the generate+check phase across a
     {!Service.Pool}.  Cases are a pure function of [(seed, index)], so
@@ -71,6 +76,8 @@ val load_case : string -> (Case.t * Check.failure, string) result
 val replay :
   ?perturb:(Check.version -> Scheduling.Schedule.t -> Scheduling.Schedule.t) ->
   ?strategy:Scheduling.Scheduler.strategy ->
+  ?max_tile_size:int ->
+  ?tile_fault:Codegen.Tiling.fault ->
   string ->
   (Case.t * (unit, Check.failure) result, string) result
 (** Loads a replay file and re-runs the differential check on its case:

@@ -10,6 +10,10 @@ type t = {
   memory_parallelism : float;
   flops_peak : float;
   launch_overhead_s : float;
+  shared_mem_per_sm : int;
+  l2_bytes : int;
+  shared_bandwidth : float;
+  l2_bandwidth : float;
 }
 
 let v100 =
@@ -23,7 +27,11 @@ let v100 =
     mem_latency_cycles = 440.0;
     memory_parallelism = 6.0;
     flops_peak = 14.0e12;
-    launch_overhead_s = 2.5e-6
+    launch_overhead_s = 2.5e-6;
+    shared_mem_per_sm = 96 * 1024;
+    l2_bytes = 6 * 1024 * 1024;
+    shared_bandwidth = 13.8e12;
+    l2_bandwidth = 2.5e12
   }
 
 (* An Ampere-class profile: more SMs, faster DRAM, same warp geometry.  Used
@@ -41,7 +49,11 @@ let a100 =
     mem_latency_cycles = 470.0;
     memory_parallelism = 6.0;
     flops_peak = 19.5e12;
-    launch_overhead_s = 2.2e-6
+    launch_overhead_s = 2.2e-6;
+    shared_mem_per_sm = 164 * 1024;
+    l2_bytes = 40 * 1024 * 1024;
+    shared_bandwidth = 19.5e12;
+    l2_bandwidth = 5.0e12
   }
 
 let all = [ v100; a100 ]

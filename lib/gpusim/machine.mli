@@ -21,6 +21,14 @@ type t = {
       (** outstanding requests a warp overlaps (MLP) *)
   flops_peak : float;  (** single-precision FLOP/s *)
   launch_overhead_s : float;
+  shared_mem_per_sm : int;
+      (** on-chip shared-memory/L1 bytes per SM, split between the blocks
+          resident there — the capacity that bounds per-tile reuse *)
+  l2_bytes : int;  (** chip-wide L2 capacity, shared by all blocks *)
+  shared_bandwidth : float;
+      (** aggregate shared-memory bytes/second (an order of magnitude above
+          DRAM: hits here are nearly free on bandwidth-bound kernels) *)
+  l2_bandwidth : float;  (** aggregate L2 bytes/second *)
 }
 
 val v100 : t

@@ -13,6 +13,11 @@ type result = {
   threads_per_block : int;
   warps : float;
   requests_per_warp : float;
+  footprint_bytes : float;
+  capacity_bytes : float;
+  shared_hit_bytes : float;
+  l2_hit_bytes : float;
+  dram_bytes : float;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -58,6 +63,7 @@ type role = Serial | BlockAxis of int | ThreadAxis of int | SplitAxis of int * i
 
 type saccess = {
   is_write : bool;
+  tid : int;  (** tensor index in the kernel's tensor list *)
   base : int;  (** tensor base byte address *)
   elem : int;  (** element size in bytes *)
   offset : cexpr;  (** element offset *)
@@ -89,9 +95,9 @@ let build_program (c : Compile.compiled) =
   (* tensor layout: sequential, 256-byte aligned *)
   let bases = Hashtbl.create 8 in
   let cursor = ref 0 in
-  List.iter
-    (fun (t : Tensor.t) ->
-      Hashtbl.replace bases t.Tensor.name !cursor;
+  List.iteri
+    (fun i (t : Tensor.t) ->
+      Hashtbl.replace bases t.Tensor.name (!cursor, i);
       cursor := (!cursor + Tensor.bytes t + 255) / 256 * 256)
     kernel.Kernel.tensors;
   (* loop-variable slots *)
@@ -110,8 +116,10 @@ let build_program (c : Compile.compiled) =
     let offset =
       List.fold_left (fun e (it, by) -> Linexpr.subst it by e) offset iter_map
     in
+    let base, tid = Hashtbl.find bases a.Access.tensor in
     { is_write;
-      base = Hashtbl.find bases a.Access.tensor;
+      tid;
+      base;
       elem = Tensor.dtype_bytes t.Tensor.dtype;
       offset = compile_expr slot_of offset
     }
@@ -159,7 +167,10 @@ let build_program (c : Compile.compiled) =
         }
   in
   let prog = go c.Compile.ast in
-  (prog, Hashtbl.length slots)
+  let tensor_bytes =
+    Array.of_list (List.map Tensor.bytes kernel.Kernel.tensors)
+  in
+  (prog, Hashtbl.length slots, tensor_bytes)
 
 (* ------------------------------------------------------------------ *)
 (* warp walker                                                          *)
@@ -181,7 +192,7 @@ let spread_samples total wanted =
 
 let collect ?(block_samples = 8) ?(warp_samples = 4) ?(loop_sample_cap = 32) machine
     (c : Compile.compiled) =
-  let prog, nslots = build_program c in
+  let prog, nslots, tensor_bytes = build_program c in
   let mapping = c.Compile.mapping in
   let blocks = max 1 (Mapping.grid_blocks mapping) in
   let tpb = max 1 (Mapping.block_threads mapping) in
@@ -200,7 +211,7 @@ let collect ?(block_samples = 8) ?(warp_samples = 4) ?(loop_sample_cap = 32) mac
     arr
   in
   let sector_tbl = Hashtbl.create 64 in
-  let record ~weight lanes_addr =
+  let main_record ~weight _tid lanes_addr =
     (* lanes_addr: (start_byte, len) option array *)
     Hashtbl.reset sector_tbl;
     let useful = ref 0 in
@@ -221,17 +232,44 @@ let collect ?(block_samples = 8) ?(warp_samples = 4) ?(loop_sample_cap = 32) mac
       tot.t_useful <- tot.t_useful +. (weight *. float_of_int !useful)
     end
   in
+  let ntensors = Array.length tensor_bytes in
+  (* Footprint probe accumulators: one representative block walked with
+     every warp, so cross-warp sector re-references inside a block are
+     visible (they are invisible to the spread warp sample above). *)
+  let probe_traffic = Array.make (max ntensors 1) 0. in
+  let probe_footprint = Array.make (max ntensors 1) 0. in
+  let probe_tbl = Hashtbl.create 1024 in
+  let probe_record ~weight tid lanes_addr =
+    Hashtbl.reset sector_tbl;
+    let useful = ref 0 in
+    Array.iter
+      (function
+        | None -> ()
+        | Some (start, len) ->
+          useful := !useful + len;
+          let s0 = start / machine.Machine.sector_bytes in
+          let s1 = (start + len - 1) / machine.Machine.sector_bytes in
+          for s = s0 to s1 do
+            Hashtbl.replace sector_tbl s ()
+          done)
+      lanes_addr;
+    if !useful > 0 then
+      Hashtbl.iter
+        (fun s () ->
+          probe_traffic.(tid) <- probe_traffic.(tid) +. weight;
+          if not (Hashtbl.mem probe_tbl (tid, s)) then begin
+            Hashtbl.replace probe_tbl (tid, s) ();
+            probe_footprint.(tid) <- probe_footprint.(tid) +. weight
+          end)
+        sector_tbl
+  in
   let block_ids = spread_samples blocks block_samples in
   let warp_ids = spread_samples warps_pb warp_samples in
   let block_weight = float_of_int blocks /. float_of_int (List.length block_ids) in
   let warp_weight = float_of_int warps_pb /. float_of_int (List.length warp_ids) in
   let envs = Array.init warp (fun _ -> Array.make (max nslots 1) 0) in
   let lanes_addr = Array.make warp None in
-  List.iter
-    (fun bid ->
-      let bcoords = coords_of mapping.Mapping.block_dims bid in
-      List.iter
-        (fun wid ->
+  let run_warp ~record ~flops ~weight0 bcoords wid =
           let base_mask =
             Array.init warp (fun l -> (wid * warp) + l < tpb)
           in
@@ -239,7 +277,6 @@ let collect ?(block_samples = 8) ?(warp_samples = 4) ?(loop_sample_cap = 32) mac
             Array.init warp (fun l ->
                 coords_of mapping.Mapping.thread_dims ((wid * warp) + l))
           in
-          let weight0 = block_weight *. warp_weight in
           let rec walk weight mask vec_slot = function
             | SSeq l -> List.iter (walk weight mask vec_slot) l
             | SIf (gs, b) ->
@@ -258,8 +295,7 @@ let collect ?(block_samples = 8) ?(warp_samples = 4) ?(loop_sample_cap = 32) mac
             | SExec { accesses; ops; vec } ->
               let active = Array.fold_left (fun n a -> if a then n + 1 else n) 0 mask in
               if active > 0 then begin
-                tot.t_flops <-
-                  tot.t_flops +. (weight *. float_of_int (ops * active * vec));
+                flops (weight *. float_of_int (ops * active * vec));
                 List.iter
                   (fun acc ->
                     if vec = 1 then begin
@@ -270,7 +306,7 @@ let collect ?(block_samples = 8) ?(warp_samples = 4) ?(loop_sample_cap = 32) mac
                                Some (acc.base + (eval_exact envs.(l) acc.offset * acc.elem), acc.elem)
                              else None))
                         mask;
-                      record ~weight lanes_addr
+                      record ~weight acc.tid lanes_addr
                     end
                     else begin
                       (* stride of the access along the vectorized variable *)
@@ -299,7 +335,7 @@ let collect ?(block_samples = 8) ?(warp_samples = 4) ?(loop_sample_cap = 32) mac
                                  Some (start, len)
                                else None))
                           mask;
-                        record ~weight lanes_addr
+                        record ~weight acc.tid lanes_addr
                       end
                       else
                         (* strided access inside a vector loop stays scalar:
@@ -319,7 +355,7 @@ let collect ?(block_samples = 8) ?(warp_samples = 4) ?(loop_sample_cap = 32) mac
                                  end
                                  else None))
                             mask;
-                          record ~weight lanes_addr
+                          record ~weight acc.tid lanes_addr
                         done
                     end)
                   accesses
@@ -407,9 +443,77 @@ let collect ?(block_samples = 8) ?(warp_samples = 4) ?(loop_sample_cap = 32) mac
                     idxs
                 end)
           in
-          walk weight0 base_mask None prog)
+          walk weight0 base_mask None prog
+  in
+  let main_flops f = tot.t_flops <- tot.t_flops +. f in
+  List.iter
+    (fun bid ->
+      let bcoords = coords_of mapping.Mapping.block_dims bid in
+      List.iter
+        (fun wid ->
+          run_warp ~record:main_record ~flops:main_flops
+            ~weight0:(block_weight *. warp_weight) bcoords wid)
         warp_ids)
     block_ids;
+  (* Footprint probe: one mid-grid block, all of its warps, per-tensor
+     traffic vs. distinct sectors.  Serial loops stay sampled, but the
+     sample points are identical across warps, so shared serial-indexed
+     streams (reduction operands, stencil halos staged per tile) alias in
+     [probe_tbl] exactly when real warps re-touch the same sectors. *)
+  let probe_bid = min (blocks - 1) (blocks / 2) in
+  let probe_bcoords = coords_of mapping.Mapping.block_dims probe_bid in
+  List.iter
+    (fun wid ->
+      run_warp ~record:probe_record ~flops:ignore ~weight0:1.0 probe_bcoords wid)
+    (List.init warps_pb Fun.id);
+  let sector_b = float_of_int machine.Machine.sector_bytes in
+  let block_footprint =
+    sector_b *. Array.fold_left ( +. ) 0.0 probe_footprint
+  in
+  (* Occupancy-limited on-chip capacity: resident blocks split the SM's
+     shared-memory/L1 budget.  A block's re-references hit on chip only
+     when its whole footprint (the worst-case reuse distance) fits. *)
+  let warps_per_sm =
+    max 1 (machine.Machine.max_resident_warps / max 1 machine.Machine.sm_count)
+  in
+  let resident_blocks = max 1 (min 32 (warps_per_sm / max 1 warps_pb)) in
+  let capacity_bytes =
+    float_of_int (machine.Machine.shared_mem_per_sm / resident_blocks)
+  in
+  let hit_cap = Float.min 1.0 (capacity_bytes /. Float.max block_footprint 1.0) in
+  let total_tensor_bytes =
+    float_of_int (Array.fold_left ( + ) 0 tensor_bytes)
+  in
+  let l2_frac =
+    Float.min 1.0 (float_of_int machine.Machine.l2_bytes /. Float.max total_tensor_bytes 1.0)
+  in
+  let shared_hits = ref 0.0 and l2_hits = ref 0.0 in
+  (* Per-tensor split of the sampled global traffic, in the probe's
+     proportions (blocks are homogeneous across the grids we generate). *)
+  let probe_total = Array.fold_left ( +. ) 0.0 probe_traffic in
+  let global_bytes = tot.t_sectors *. sector_b in
+  Array.iteri
+    (fun t p_tr ->
+      if p_tr > 0.0 then begin
+        let traffic_t =
+          if probe_total > 0.0 then global_bytes *. (p_tr /. probe_total) else 0.0
+        in
+        (* intra-block redundancy, served from shared/L1 when the block
+           footprint fits the occupancy-limited capacity *)
+        let redundancy = Float.max 0.0 (1.0 -. (probe_footprint.(t) /. p_tr)) in
+        let sh = traffic_t *. redundancy *. hit_cap in
+        shared_hits := !shared_hits +. sh;
+        (* cross-block re-reads beyond the tensor's own footprint hit in L2
+           when the working set fits there *)
+        let after = traffic_t -. sh in
+        let excess = Float.max 0.0 (after -. float_of_int tensor_bytes.(t)) in
+        l2_hits := !l2_hits +. (excess *. l2_frac)
+      end)
+    probe_traffic;
+  let shared_hit_bytes = Float.min !shared_hits global_bytes in
+  let l2_hit_bytes =
+    Float.min !l2_hits (Float.max 0.0 (global_bytes -. shared_hit_bytes))
+  in
   let warps = float_of_int (blocks * warps_pb) in
   { requests = tot.t_requests;
     sectors = tot.t_sectors;
@@ -419,5 +523,10 @@ let collect ?(block_samples = 8) ?(warp_samples = 4) ?(loop_sample_cap = 32) mac
     blocks;
     threads_per_block = tpb;
     warps;
-    requests_per_warp = (if warps > 0. then tot.t_requests /. warps else 0.)
+    requests_per_warp = (if warps > 0. then tot.t_requests /. warps else 0.);
+    footprint_bytes = block_footprint;
+    capacity_bytes;
+    shared_hit_bytes;
+    l2_hit_bytes;
+    dram_bytes = Float.max 0.0 (global_bytes -. shared_hit_bytes -. l2_hit_bytes)
   }

@@ -6,7 +6,17 @@
     (coalescing falls out of the actual per-lane addresses), useful bytes
     and arithmetic operations.  Long serial loops are sampled and counts
     scaled — exact for the affine access streams this repository
-    generates. *)
+    generates.
+
+    On top of the raw traffic counts, a footprint probe walks one
+    mid-grid block with {e all} of its warps and measures, per tensor,
+    total sector traffic vs. distinct sectors touched.  The gap is
+    intra-block redundancy; it is served on chip when the block's whole
+    footprint (its worst-case reuse distance) fits the occupancy-limited
+    shared-memory/L1 capacity, which is exactly what tiling buys.  Re-reads
+    beyond a tensor's own size hit in L2 when the working set fits there.
+    [bytes] stays the cache-less sector traffic; [dram_bytes] is what is
+    left for DRAM after both levels. *)
 
 type result = {
   requests : float;  (** warp-level memory instructions issued *)
@@ -18,6 +28,12 @@ type result = {
   threads_per_block : int;
   warps : float;
   requests_per_warp : float;
+  footprint_bytes : float;  (** distinct bytes one block touches (probe) *)
+  capacity_bytes : float;
+      (** on-chip bytes available to one block at this occupancy *)
+  shared_hit_bytes : float;  (** traffic served by shared/L1 reuse *)
+  l2_hit_bytes : float;  (** traffic served by L2 reuse *)
+  dram_bytes : float;  (** [bytes - shared_hit_bytes - l2_hit_bytes] *)
 }
 
 val collect :

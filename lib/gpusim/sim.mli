@@ -1,14 +1,19 @@
 (** Kernel execution-time model.
 
-    Combines the warp-level traffic of {!Memsim} with a three-component
-    roofline: DRAM bandwidth (with a saturation ramp for small kernels),
+    Combines the warp-level traffic of {!Memsim} with a roofline over
+    DRAM bandwidth (with a saturation ramp for small kernels),
     memory-request latency (hidden by warp parallelism and vector width),
-    and arithmetic throughput.  Absolute numbers are indicative; the model
-    preserves the orderings the paper's evaluation depends on. *)
+    on-chip bandwidth for the shared/L2 reuse hits Memsim's footprint
+    probe attributes, and arithmetic throughput.  Absolute numbers are
+    indicative; the model preserves the orderings the paper's evaluation
+    depends on. *)
 
 type report = {
   time_s : float;
-  bw_time_s : float;
+  bw_time_s : float;  (** DRAM time for the traffic that misses on chip *)
+  onchip_time_s : float;
+      (** shared/L1 + L2 service time for reuse hits: the component tiling
+          trades DRAM traffic into *)
   latency_time_s : float;
   compute_time_s : float;
   issue_time_s : float;

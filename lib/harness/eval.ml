@@ -13,6 +13,7 @@ type sched_obs = {
 type op_obs = {
   isl_sched : sched_obs;
   infl_sched : sched_obs;
+  tiled_sched : sched_obs;
   tree_s : float;
   lower_s : float;
   sim_s : float;
@@ -24,8 +25,10 @@ type op_result = {
   tvm_us : float;
   novec_us : float;
   infl_us : float;
+  tiled_us : float;
   influenced : bool;
   vec : bool;
+  tiled : bool;
   obs : op_obs;
 }
 
@@ -39,12 +42,16 @@ let rows_equal (a : Scheduling.Schedule.t) (b : Scheduling.Schedule.t) =
               ra.exprs rb.exprs)
        a.Scheduling.Schedule.rows b.Scheduling.Schedule.rows
 
+(* step > 1 signals a vectorized loop, except on tile loops (dim <= -500),
+   which step by the tile size *)
 let rec has_vector_loop = function
   | Codegen.Ast.Stmts l -> List.exists has_vector_loop l
   | Codegen.Ast.If (_, b) -> has_vector_loop b
   | Codegen.Ast.Exec _ -> false
   | Codegen.Ast.VecExec _ -> true
-  | Codegen.Ast.For l -> l.Codegen.Ast.step > 1 || has_vector_loop l.Codegen.Ast.body
+  | Codegen.Ast.For l ->
+    (l.Codegen.Ast.step > 1 && l.Codegen.Ast.dim > -500)
+    || has_vector_loop l.Codegen.Ast.body
 
 (* Runs the scheduler while measuring wall time and the branch-and-bound
    node delta it caused, turning its per-run stats into a [sched_obs]. *)
@@ -92,6 +99,15 @@ let evaluate_op ?(machine = Gpusim.Machine.v100) ?tuning ?strategy ~name kernel 
   let isl_sched, _, isl_obs = timed_schedule ?strategy kernel in
   let tree, tree_s = Obs.Span.timed (fun () -> influence_with ?tuning kernel) in
   let infl_sched, infl_stats, infl_obs = timed_schedule ~influence:tree ?strategy kernel in
+  (* The tiled version goes through the same influence path with the
+     tiling client's tree instead of the vectorizer's. *)
+  let tile_tree, tile_tree_s =
+    Obs.Span.timed (fun () -> Scheduling.Tiling.influence_for kernel)
+  in
+  let tiled_sched_r, tiled_stats, tiled_obs =
+    timed_schedule ~influence:tile_tree ?strategy kernel
+  in
+  let tree_s = tree_s +. tile_tree_s in
   let lower_s = ref 0.0 and sim_s = ref 0.0 in
   let lower f =
     let r, dt = Obs.Span.timed f in
@@ -117,6 +133,13 @@ let evaluate_op ?(machine = Gpusim.Machine.v100) ?tuning ?strategy ~name kernel 
     lower (fun () ->
         Codegen.Compile.lower ~vectorize:true ~vec_min_parallel:2048 infl_sched kernel)
   in
+  let tiled_c =
+    lower (fun () -> Codegen.Compile.lower ~vectorize:false tiled_sched_r kernel)
+  in
+  let tiled =
+    (not tiled_stats.Scheduling.Scheduler.influence_abandoned)
+    && Codegen.Tiling.applied tiled_c.Codegen.Compile.ast
+  in
   let tvm_us =
     version "tvm"
       (List.fold_left
@@ -135,11 +158,14 @@ let evaluate_op ?(machine = Gpusim.Machine.v100) ?tuning ?strategy ~name kernel 
       tvm_us;
       novec_us = version "novec" (time novec_c);
       infl_us = version "infl" (time infl_c);
+      tiled_us = version "tiled" (time tiled_c);
       influenced;
       vec;
+      tiled;
       obs =
         { isl_sched = isl_obs;
           infl_sched = infl_obs;
+          tiled_sched = tiled_obs;
           tree_s;
           lower_s = !lower_s;
           sim_s = !sim_s
@@ -150,6 +176,7 @@ let evaluate_op ?(machine = Gpusim.Machine.v100) ?tuning ?strategy ~name kernel 
       [ ("op", Obs.Json.String name);
         ("influenced", Obs.Json.Bool r.influenced);
         ("vec", Obs.Json.Bool r.vec);
+        ("tiled", Obs.Json.Bool r.tiled);
         ("isl_ilp_solves", Obs.Json.Int isl_obs.ilp_solves);
         ("infl_ilp_solves", Obs.Json.Int infl_obs.ilp_solves);
         ( "fastpath_hits",
@@ -199,10 +226,13 @@ let result_to_json (r : op_result) =
       ("tvm_us", J.Float r.tvm_us);
       ("novec_us", J.Float r.novec_us);
       ("infl_us", J.Float r.infl_us);
+      ("tiled_us", J.Float r.tiled_us);
       ("influenced", J.Bool r.influenced);
       ("vec", J.Bool r.vec);
+      ("tiled", J.Bool r.tiled);
       ("isl_sched", sched_obs_to_json r.obs.isl_sched);
       ("infl_sched", sched_obs_to_json r.obs.infl_sched);
+      ("tiled_sched", sched_obs_to_json r.obs.tiled_sched);
       ("tree_s", J.Float r.obs.tree_s);
       ("lower_s", J.Float r.obs.lower_s);
       ("sim_s", J.Float r.obs.sim_s)
@@ -243,26 +273,31 @@ let result_of_json j =
   let* tvm_us = num "tvm_us" j in
   let* novec_us = num "novec_us" j in
   let* infl_us = num "infl_us" j in
+  let* tiled_us = num "tiled_us" j in
   let* influenced = bool "influenced" j in
   let* vec = bool "vec" j in
+  let* tiled = bool "tiled" j in
   let* isl_sched = sched "isl_sched" j in
   let* infl_sched = sched "infl_sched" j in
+  let* tiled_sched = sched "tiled_sched" j in
   let* tree_s = num "tree_s" j in
   let* lower_s = num "lower_s" j in
   let* sim_s = num "sim_s" j in
   Ok
-    { op_name; isl_us; tvm_us; novec_us; infl_us; influenced; vec;
-      obs = { isl_sched; infl_sched; tree_s; lower_s; sim_s }
+    { op_name; isl_us; tvm_us; novec_us; infl_us; tiled_us; influenced; vec; tiled;
+      obs = { isl_sched; infl_sched; tiled_sched; tree_s; lower_s; sim_s }
     }
 
 type aggregate = {
   total : int;
   vec_count : int;
   infl_count : int;
+  tiled_count : int;
   isl_ms : float;
   tvm_ms : float;
   novec_ms : float;
   infl_ms : float;
+  tiled_ms : float;
   i_isl_ms : float;
   i_tvm_ms : float;
   i_novec_ms : float;
@@ -276,10 +311,12 @@ let aggregate results =
   { total = List.length results;
     vec_count = List.length (List.filter (fun r -> r.vec) results);
     infl_count = List.length infl_only;
+    tiled_count = List.length (List.filter (fun r -> r.tiled) results);
     isl_ms = ms (fun r -> r.isl_us);
     tvm_ms = ms (fun r -> r.tvm_us);
     novec_ms = ms (fun r -> r.novec_us);
     infl_ms = ms (fun r -> r.infl_us);
+    tiled_ms = ms (fun r -> r.tiled_us);
     i_isl_ms = ims (fun r -> r.isl_us);
     i_tvm_ms = ims (fun r -> r.tvm_us);
     i_novec_ms = ims (fun r -> r.novec_us);

@@ -5,12 +5,17 @@
     - {b isl}: the baseline scheduler, no influence;
     - {b tvm}: the TVM-style manual comparator (unfused, output-aligned);
     - {b novec}: influenced scheduling with the vectorization pass off;
-    - {b infl}: influenced scheduling with explicit vector types.
+    - {b infl}: influenced scheduling with explicit vector types;
+    - {b tiled}: influenced scheduling with the tiling client's tree
+      ({!Scheduling.Tiling.influence_for}) and the backend tiling pass
+      consuming the injected tile-shape annotation (vectorization off).
 
     An operator counts as {e influenced} when the injected constraints
     changed compilation (different schedule rows than isl, or a
     vectorization preparation); it counts as {e vec} when the backend pass
-    actually rewrote a loop with vector types. *)
+    actually rewrote a loop with vector types; it counts as {e tiled} when
+    the tiling influence survived scheduling and the backend actually
+    rewrote a band into tile/point loops. *)
 
 type sched_obs = {
   ilp_solves : int;  (** per-dimension ILP solves of this scheduler run *)
@@ -29,7 +34,8 @@ type sched_obs = {
 type op_obs = {
   isl_sched : sched_obs;  (** the uninfluenced baseline run *)
   infl_sched : sched_obs;  (** the influenced run (shared by novec/infl) *)
-  tree_s : float;  (** influence-tree construction seconds *)
+  tiled_sched : sched_obs;  (** the tiling-influenced run *)
+  tree_s : float;  (** influence-tree construction seconds (both clients) *)
   lower_s : float;  (** all codegen lowerings, seconds *)
   sim_s : float;  (** all GPU-model simulations, seconds *)
 }
@@ -42,8 +48,10 @@ type op_result = {
   tvm_us : float;
   novec_us : float;
   infl_us : float;
+  tiled_us : float;
   influenced : bool;
   vec : bool;
+  tiled : bool;
   obs : op_obs;
 }
 
@@ -108,11 +116,13 @@ type aggregate = {
   total : int;
   vec_count : int;
   infl_count : int;
+  tiled_count : int;
   (* all operators, milliseconds *)
   isl_ms : float;
   tvm_ms : float;
   novec_ms : float;
   infl_ms : float;
+  tiled_ms : float;
   (* influenced operators only, milliseconds *)
   i_isl_ms : float;
   i_tvm_ms : float;

@@ -43,6 +43,13 @@ let schemas : (string * spec list) list =
         m ~exact:true Higher_better [ "improved_ops" ];
         m Lower_better [ "cold_s" ]; m Lower_better [ "warm_s" ]
       ] );
+    ( "akg-repro-bench-tiling",
+      [ m Higher_better [ "geomean_speedup" ];
+        m Higher_better [ "best_speedup" ];
+        m ~exact:true Higher_better [ "tiled_ops" ];
+        m ~exact:true Higher_better [ "tiled_wins" ];
+        m ~exact:true Lower_better [ "legality_violations" ]
+      ] );
     ( "akg-repro-bench-serve-load",
       [ m Higher_better [ "cold"; "rps" ]; m Higher_better [ "warm"; "rps" ];
         m Lower_better [ "cold"; "p50_us" ]; m Lower_better [ "cold"; "p99_us" ];

@@ -2,7 +2,7 @@
     engine behind [akg_repro perf-diff].
 
     Each bench schema the repo emits ([akg-repro-bench-service],
-    [-fastpath], [-tune], [-serve-load], and the PR-2 micro file, which
+    [-fastpath], [-tune], [-tiling], [-serve-load], and the PR-2 micro file, which
     is recognized by its ["benchmark": "micro"] tag) declares the
     metrics worth gating on, each with a direction and a noise class:
     {e exact} metrics are deterministic counts (ILP solves, serve

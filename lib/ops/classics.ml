@@ -259,6 +259,102 @@ let shift_add ?(n = 64) ?(m = 64) () =
   in
   Build.kernel "shift_add" ~tensors ~stmts:[ s ]
 
+(* ------------------------------------------------------------------ *)
+(* Tiling-sensitive workloads (PR 9): stencils and contractions whose   *)
+(* per-block working sets blow past on-chip capacity untiled but fit    *)
+(* once the tiling influence client injects a tile shape.               *)
+(* ------------------------------------------------------------------ *)
+
+(* 5-point 2D stencil over a haloed input: every output point reads a
+   cross of 5 input points, so neighbouring threads (and neighbouring
+   rows within a tile) re-read the same sectors.  At the default size the
+   input (~8.4 MB) exceeds the V100's L2, so the untiled version streams
+   most of the redundancy from DRAM while a tiled version keeps it in
+   shared memory. *)
+let stencil2d ?(n = 1024) ?(m = 2048) () =
+  let tensors = [ Build.tensor "x" [ n + 2; m + 2 ]; Build.tensor "out" [ n; m ] ] in
+  let open Expr.Infix in
+  let at di dj =
+    Expr.load (Access.make "x" [ Build.idx_plus "i" di; Build.idx_plus "j" dj ])
+  in
+  let s =
+    Build.stmt "S"
+      ~iters:[ ("i", n); ("j", m) ]
+      ~write:(Build.access "out" [ "i"; "j" ])
+      ~rhs:((at 1 1 + at 0 1 + at 2 1 + at 1 0 + at 1 2) * Expr.const 0.2)
+  in
+  Build.kernel "stencil2d" ~tensors ~stmts:[ s ]
+
+(* 7-point 3D stencil: three tilable dimensions, so the influence tree
+   gets both a full-band branch and the band-2 fallback. *)
+let stencil3d ?(d = 64) ?(n = 64) ?(m = 256) () =
+  let tensors =
+    [ Build.tensor "x" [ d + 2; n + 2; m + 2 ]; Build.tensor "out" [ d; n; m ] ]
+  in
+  let open Expr.Infix in
+  let at dk di dj =
+    Expr.load
+      (Access.make "x" [ Build.idx_plus "k" dk; Build.idx_plus "i" di; Build.idx_plus "j" dj ])
+  in
+  let s =
+    Build.stmt "S"
+      ~iters:[ ("k", d); ("i", n); ("j", m) ]
+      ~write:(Build.access "out" [ "k"; "i"; "j" ])
+      ~rhs:
+        ((at 1 1 1 + at 0 1 1 + at 2 1 1 + at 1 0 1 + at 1 2 1 + at 1 1 0 + at 1 1 2)
+        * Expr.const 0.125)
+  in
+  Build.kernel "stencil3d" ~tensors ~stmts:[ s ]
+
+(* Matmul-style contraction [c[i][j] += a[i][k] * b[k][j]]: the reduction
+   dimension carries a forward dependence, so the whole 3-deep nest is a
+   tilable band and classic rectangular i/j/k tiling applies. *)
+let matmul ?(n = 256) ?(m = 256) ?(k = 256) () =
+  let tensors =
+    [ Build.tensor "a" [ n; k ]; Build.tensor "b" [ k; m ]; Build.tensor "c" [ n; m ] ]
+  in
+  let open Expr.Infix in
+  let s =
+    Build.stmt "M"
+      ~iters:[ ("i", n); ("j", m); ("kk", k) ]
+      ~write:(Build.access "c" [ "i"; "j" ])
+      ~rhs:
+        (Expr.load (Build.access "c" [ "i"; "j" ])
+        + Expr.load (Build.access "a" [ "i"; "kk" ])
+          * Expr.load (Build.access "b" [ "kk"; "j" ]))
+  in
+  Build.kernel "matmul" ~tensors ~stmts:[ s ]
+
+(* Layernorm-style chain: a row reduction feeding two element-wise phases
+   (centering, then gain).  Like softmax it stresses multi-phase
+   scheduling; unlike softmax its phases are all tilable along the row. *)
+let layernorm_chain ?(n = 512) ?(m = 1024) () =
+  let t2 name = Build.tensor name [ n; m ] in
+  let tensors = [ t2 "x"; Build.tensor "mean" [ n ]; t2 "cent"; Build.tensor "g" [ m ]; t2 "out" ] in
+  let open Expr.Infix in
+  let s0 =
+    Build.stmt "Lsum"
+      ~iters:[ ("i0", n); ("j0", m) ]
+      ~write:(Build.access "mean" [ "i0" ])
+      ~rhs:
+        (Expr.load (Build.access "mean" [ "i0" ]) + Expr.load (Build.access "x" [ "i0"; "j0" ]))
+  in
+  let s1 =
+    Build.stmt "Lcent"
+      ~iters:[ ("i1", n); ("j1", m) ]
+      ~write:(Build.access "cent" [ "i1"; "j1" ])
+      ~rhs:
+        (Expr.load (Build.access "x" [ "i1"; "j1" ])
+        - Expr.load (Build.access "mean" [ "i1" ]) * Expr.const (1.0 /. float_of_int m))
+  in
+  let s2 =
+    Build.stmt "Lout"
+      ~iters:[ ("i2", n); ("j2", m) ]
+      ~write:(Build.access "out" [ "i2"; "j2" ])
+      ~rhs:(Expr.load (Build.access "cent" [ "i2"; "j2" ]) * Expr.load (Build.access "g" [ "j2" ]))
+  in
+  Build.kernel "layernorm_chain" ~tensors ~stmts:[ s0; s1; s2 ]
+
 let all =
   [ ("fig2", fun () -> fig2 ());
     ("fused_mul_sub_mul_tensoradd", fun () -> fused_mul_sub_mul_tensoradd ());
@@ -270,7 +366,11 @@ let all =
     ("permute_scale_fused", fun () -> permute_scale_fused ());
     ("softmax", fun () -> softmax ());
     ("downsample_2x", fun () -> downsample_2x ());
-    ("shift_add", fun () -> shift_add ())
+    ("shift_add", fun () -> shift_add ());
+    ("stencil2d", fun () -> stencil2d ());
+    ("stencil3d", fun () -> stencil3d ());
+    ("matmul", fun () -> matmul ());
+    ("layernorm_chain", fun () -> layernorm_chain ())
   ]
 
 let all_small =
@@ -284,5 +384,9 @@ let all_small =
     ("permute_scale_fused", fun () -> permute_scale_fused ~a:4 ~b:4 ~c:8 ());
     ("softmax", fun () -> softmax ~n:4 ~m:8 ());
     ("downsample_2x", fun () -> downsample_2x ~n:4 ~m:4 ());
-    ("shift_add", fun () -> shift_add ~n:4 ~m:8 ())
+    ("shift_add", fun () -> shift_add ~n:4 ~m:8 ());
+    ("stencil2d", fun () -> stencil2d ~n:6 ~m:8 ());
+    ("stencil3d", fun () -> stencil3d ~d:3 ~n:4 ~m:4 ());
+    ("matmul", fun () -> matmul ~n:4 ~m:4 ~k:4 ());
+    ("layernorm_chain", fun () -> layernorm_chain ~n:4 ~m:8 ())
   ]

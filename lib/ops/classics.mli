@@ -53,6 +53,23 @@ val shift_add : ?n:int -> ?m:int -> unit -> Ir.Kernel.t
 (** Horizontal stencil [x[i][j] + x[i][j+1]]: vectorizable store with an
     unaligned unit-stride load. *)
 
+val stencil2d : ?n:int -> ?m:int -> unit -> Ir.Kernel.t
+(** 5-point 2D stencil over a haloed [n+2 x m+2] input.  At the default
+    size the input exceeds the V100's L2, so untiled execution streams the
+    5x read redundancy from DRAM — the flagship tiling-sensitive case. *)
+
+val stencil3d : ?d:int -> ?n:int -> ?m:int -> unit -> Ir.Kernel.t
+(** 7-point 3D stencil: a 3-deep tilable band (exercises the band-2
+    fallback branch of the tiling influence tree). *)
+
+val matmul : ?n:int -> ?m:int -> ?k:int -> unit -> Ir.Kernel.t
+(** Contraction [c[i][j] += a[i][k] * b[k][j]]; the reduction dimension's
+    forward dependence keeps the full nest a permutable band. *)
+
+val layernorm_chain : ?n:int -> ?m:int -> unit -> Ir.Kernel.t
+(** Row reduction feeding centering and gain phases — a layernorm-style
+    multi-phase chain whose phases all tile along the row dimension. *)
+
 val all : (string * (unit -> Ir.Kernel.t)) list
 (** Name-indexed constructors with default sizes, for table-driven tests. *)
 

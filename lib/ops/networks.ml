@@ -128,4 +128,23 @@ let vgg16 =
   in
   { name = "VGG16"; kind = "cv"; dataset = "CIFAR-10"; ops = suite specs }
 
-let all = [ bert; lstm; mobilenetv2; resnet50; resnet101; resnext50; vgg16 ]
+(* Tiling-sensitive zoo (PR 9): stencils and contractions whose untiled
+   per-block working sets exceed on-chip capacity, built directly from the
+   hand-written classics rather than Netgen categories.  This is the suite
+   Table II's [tiled] column is meant to move on. *)
+let stencilzoo =
+  { name = "StencilZoo";
+    kind = "hpc";
+    dataset = "synthetic";
+    ops =
+      lazy
+        [ ("zoo_stencil2d_000", Classics.stencil2d ());
+          ("zoo_stencil2d_mid_001", Classics.stencil2d ~n:256 ~m:512 ());
+          ("zoo_stencil3d_002", Classics.stencil3d ());
+          ("zoo_matmul_003", Classics.matmul ());
+          ("zoo_layernorm_004", Classics.layernorm_chain ());
+          ("zoo_softmax_wide_005", Classics.softmax ~n:512 ~m:256 ())
+        ]
+  }
+
+let all = [ bert; lstm; mobilenetv2; resnet50; resnet101; resnext50; vgg16; stencilzoo ]

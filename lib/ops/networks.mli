@@ -23,7 +23,12 @@ val resnet101 : t
 val resnext50 : t
 val vgg16 : t
 
+val stencilzoo : t
+(** Tiling-sensitive zoo (not part of Table I): stencils and contractions
+    from {!Classics} whose untiled working sets exceed on-chip capacity —
+    the suite the [tiled] column is meant to move on. *)
+
 val all : t list
-(** In Table I order. *)
+(** In Table I order, followed by the tiling-sensitive zoo. *)
 
 val op_count : t -> int

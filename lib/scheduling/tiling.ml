@@ -1,0 +1,227 @@
+open Polybase
+open Polyhedra
+open Ir
+
+type model = {
+  shared_mem_bytes : int;
+  max_tile_size : int;
+  elem_bytes : int;
+  halo : int;
+}
+
+let default_model =
+  { shared_mem_bytes = 48 * 1024; max_tile_size = 32; elem_bytes = 4; halo = 2 }
+
+let annotation_key = "tile_sizes"
+
+let parse_sizes v =
+  List.filter_map
+    (fun part ->
+      match String.split_on_char ':' part with
+      | [ d; s ] -> (
+        match (int_of_string_opt d, int_of_string_opt s) with
+        | Some d, Some s when d >= 0 && s > 1 -> Some (d, s)
+        | _ -> None)
+      | _ -> None)
+    (String.split_on_char ',' v)
+
+let render_sizes l =
+  String.concat "," (List.map (fun (d, s) -> Printf.sprintf "%d:%d" d s) l)
+
+(* ------------------------------------------------------------------ *)
+(* band selection                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let band_depth (kernel : Kernel.t) deps =
+  let min_dims =
+    List.fold_left (fun acc s -> min acc (Stmt.dim s)) max_int kernel.Kernel.stmts
+  in
+  if min_dims = max_int || min_dims = 0 then 0
+  else begin
+    let vdeps = Deps.Analysis.validity deps in
+    (* Dimension [d] keeps the band permutable iff every validity
+       dependence moves forward (or not at all) along it: non-negative
+       distance without any outer-equality context, the componentwise
+       condition of Pluto-style rectangular tiling. *)
+    let forward_at d =
+      List.for_all
+        (fun (dep : Deps.Dependence.t) ->
+          match (List.nth_opt dep.src_iters d, List.nth_opt dep.tgt_iters d) with
+          | Some si, Some ti ->
+            let delta = Linexpr.add_term (Q.neg Q.one) si (Linexpr.var ti) in
+            (match Polyhedron.minimum dep.rel delta with
+             | `Empty -> true
+             | `Value v -> Q.sign v >= 0
+             | `Unbounded -> false)
+          | _ -> false)
+        vdeps
+    in
+    let rec grow d = if d >= min_dims || not (forward_at d) then d else grow (d + 1) in
+    grow 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* tile-shape selection from the machine model                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec pow2_below n v = if v * 2 > n then v else pow2_below n (v * 2)
+
+let choose_sizes model (kernel : Kernel.t) k =
+  let extent d =
+    List.fold_left
+      (fun acc (s : Stmt.t) ->
+        match List.nth_opt s.Stmt.iters d with
+        | Some it -> min acc (Stmt.extent s it)
+        | None -> acc)
+      max_int kernel.Kernel.stmts
+  in
+  let sizes =
+    Array.init k (fun d ->
+        let e = extent d in
+        if e = max_int || e < 4 then 0
+        else min (pow2_below (e / 2) 1) model.max_tile_size)
+  in
+  (* Shrink (largest dimension first) until one tile's working set —
+     every tensor staged once, with halo — fits the per-block budget. *)
+  let ntensors = max 1 (List.length kernel.Kernel.tensors) in
+  let footprint () =
+    let tile_elems =
+      Array.fold_left
+        (fun acc s -> if s > 1 then acc * (s + model.halo) else acc)
+        1 sizes
+    in
+    tile_elems * model.elem_bytes * ntensors
+  in
+  let largest () =
+    let best = ref (-1) in
+    Array.iteri (fun d s -> if s > 2 && (!best < 0 || s > sizes.(!best)) then best := d) sizes;
+    !best
+  in
+  let rec shrink () =
+    if footprint () > model.shared_mem_bytes then begin
+      match largest () with
+      | -1 -> ()
+      | d ->
+        sizes.(d) <- sizes.(d) / 2;
+        shrink ()
+    end
+  in
+  shrink ();
+  List.filter_map
+    (fun d -> if sizes.(d) > 1 then Some (d, sizes.(d)) else None)
+    (List.init k Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* schedule-annotation consumption                                      *)
+(* ------------------------------------------------------------------ *)
+
+let sizes_of_schedule (sched : Schedule.t) =
+  match Schedule.annotation sched annotation_key with
+  | None -> None
+  | Some v ->
+    let pairs = parse_sizes v in
+    if pairs = [] then None
+    else begin
+      (* The annotation keys loop ordinals; codegen loop [dim]s are
+         schedule row indices, so skip scalar rows when translating. *)
+      let row_indices =
+        List.filter_map
+          (fun (i, (r : Schedule.row)) ->
+            match r.Schedule.kind with
+            | Schedule.Loop _ -> Some i
+            | Schedule.Scalar -> None)
+          (List.mapi (fun i r -> (i, r)) sched.Schedule.rows)
+      in
+      let translated =
+        List.filter_map
+          (fun (ord, s) -> Option.map (fun ri -> (ri, s)) (List.nth_opt row_indices ord))
+          pairs
+      in
+      if translated = [] then None else Some (fun d -> List.assoc_opt d translated)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* influence-tree construction (mirrors Vectorizer.Treegen)             *)
+(* ------------------------------------------------------------------ *)
+
+let cvar ~stmt ~dim it = Linexpr.var (Space.coef_var ~stmt ~dim (Space.Iter it))
+
+let pin_row ~stmt ~dim ~iter ~all_iters =
+  Constr.eq (cvar ~stmt ~dim iter) (Linexpr.const_int 1)
+  :: List.filter_map
+       (fun it -> if it = iter then None else Some (Constr.eq0 (cvar ~stmt ~dim it)))
+       all_iters
+
+(* One branch: pin every statement's identity row on the band's first [k]
+   dimensions, chained one node per depth like the vectorizer, with the
+   tile shape deposited at the leaf. *)
+let branch ~label kernel ~band ~sizes =
+  let depth =
+    List.fold_left (fun acc (s : Stmt.t) -> max acc (Stmt.dim s)) 1 kernel.Kernel.stmts
+  in
+  let at d =
+    if d >= band then []
+    else
+      List.concat_map
+        (fun (s : Stmt.t) ->
+          match List.nth_opt s.Stmt.iters d with
+          | Some iter ->
+            pin_row ~stmt:s.Stmt.name ~dim:d ~iter ~all_iters:s.Stmt.iters
+          | None -> [])
+        kernel.Kernel.stmts
+  in
+  let payload =
+    [ ("influence_branch", label); (annotation_key, render_sizes sizes) ]
+  in
+  let rec chain d =
+    if d = depth - 1 then Influence.node ~label:(label ^ "@leaf") ~payload (at d)
+    else
+      Influence.node ~label:(Printf.sprintf "%s@%d" label d)
+        ~children:[ chain (d + 1) ] (at d)
+  in
+  chain 0
+
+let c_trees = Obs.Counters.create "tiling.trees_built" ~doc:"tiling influence trees generated"
+
+let c_bands =
+  Obs.Counters.create "tiling.bands_selected" ~doc:"tilable bands found (depth >= 2)"
+
+let c_rejects =
+  Obs.Counters.create "tiling.bands_rejected"
+    ~doc:"kernels with no tilable band (backward dependences or too shallow)"
+
+let influence_for ?(model = default_model) ?max_tile_size (kernel : Kernel.t) =
+  Obs.Span.with_ "tiling.treegen" @@ fun () ->
+  let model =
+    match max_tile_size with
+    | Some m -> { model with max_tile_size = max 2 m }
+    | None -> model
+  in
+  Obs.Counters.incr c_trees;
+  let deps = Deps.Analysis.dependences kernel in
+  let k = band_depth kernel deps in
+  let sizes = if k >= 2 then choose_sizes model kernel k else [] in
+  let tree =
+    if sizes = [] then Influence.empty
+    else begin
+      let full = branch ~label:(Printf.sprintf "tile-band%d" k) kernel ~band:k ~sizes in
+      if k > 2 then
+        let sizes2 = List.filter (fun (d, _) -> d < 2) sizes in
+        if sizes2 = [] then [ full ]
+        else [ full; branch ~label:"tile-band2" kernel ~band:2 ~sizes:sizes2 ]
+      else [ full ]
+    end
+  in
+  if tree = Influence.empty then Obs.Counters.incr c_rejects
+  else Obs.Counters.incr c_bands;
+  Obs.Trace.emitf "tiling.tree" (fun () ->
+      [ ("kernel", Obs.Json.String kernel.Kernel.name);
+        ("band_depth", Obs.Json.Int k);
+        ("sizes", Obs.Json.String (render_sizes sizes));
+        ("branches", Obs.Json.Int (List.length tree));
+        ( "labels",
+          Obs.Json.List
+            (List.map (fun (n : Influence.node) -> Obs.Json.String n.Influence.label) tree)
+        )
+      ]);
+  tree

@@ -22,6 +22,9 @@ let eval_key ?tuned ?(strategy = Scheduling.Scheduler.default_config.strategy)
      entries. *)
   let flags =
     ("op", name)
+    (* the column set is part of the key, so adding a version (tiled, PR 9)
+       retires every pre-tiling entry instead of relying on decode failure *)
+    :: ("columns", "isl,tvm,novec,infl,tiled")
     :: ("strategy", Scheduling.Scheduler.strategy_name strategy)
     :: (match tuned with None -> [] | Some t -> [ ("tuned", t.digest) ])
   in

@@ -54,14 +54,19 @@ let make_handler ?(kernel_of_json = None) ?cache
   { find_op; kernel_of_json; cache; default_machine; max_request_bytes; started;
     next_id = Atomic.make 0 }
 
-type version = Isl | Novec | Infl
+type version = Isl | Novec | Infl | Tiled
 
-let version_name = function Isl -> "isl" | Novec -> "novec" | Infl -> "infl"
+let version_name = function
+  | Isl -> "isl"
+  | Novec -> "novec"
+  | Infl -> "infl"
+  | Tiled -> "tiled"
 
 let version_of_name = function
   | "isl" -> Some Isl
   | "novec" -> Some Novec
   | "infl" -> Some Infl
+  | "tiled" -> Some Tiled
   | _ -> None
 
 let compile ~strategy version kernel =
@@ -74,6 +79,10 @@ let compile ~strategy version kernel =
     let tree = Vectorizer.Treegen.influence_for kernel in
     let sched, stats = Scheduling.Scheduler.schedule ~config ~influence:tree kernel in
     (sched, stats, Codegen.Compile.lower ~vectorize:(version = Infl) sched kernel)
+  | Tiled ->
+    let tree = Scheduling.Tiling.influence_for kernel in
+    let sched, stats = Scheduling.Scheduler.schedule ~config ~influence:tree kernel in
+    (sched, stats, Codegen.Compile.lower ~vectorize:false sched kernel)
 
 let compile_report ~machine ~strategy ~version ~op kernel =
   let sched, stats, compiled = compile ~strategy version kernel in
@@ -93,6 +102,7 @@ let compile_report ~machine ~strategy ~version ~op kernel =
     ("fastpath_hits", J.Int stats.Scheduling.Scheduler.fastpath_hits);
     ("abandoned", J.Bool stats.Scheduling.Scheduler.influence_abandoned);
     ("legal", J.Bool legal);
+    ("tiled", J.Bool (Codegen.Tiling.applied compiled.Codegen.Compile.ast));
     ("time_us", J.Float (Gpusim.Sim.time_us report))
   ]
 
@@ -178,7 +188,7 @@ let handle_compile h ~id req =
     | Some (J.String s) -> (
       match version_of_name s with
       | Some v -> Ok v
-      | None -> Error (Printf.sprintf "unknown version %S (isl|novec|infl)" s))
+      | None -> Error (Printf.sprintf "unknown version %S (isl|novec|infl|tiled)" s))
     | Some _ -> Error "version must be a string"
   in
   let machine =

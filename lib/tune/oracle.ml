@@ -2,6 +2,7 @@ type measurement = {
   time_us : float;
   cycles : float;
   vec : bool;
+  tiled : bool;
   influenced : bool;
 }
 
@@ -14,14 +15,16 @@ let c_failures =
   Obs.Counters.create "tune.eval_failures"
     ~doc:"oracle evaluations whose pipeline raised (candidate scored as unusable)"
 
-let key ?(strategy = Scheduling.Scheduler.default_config.strategy) ~machine kernel
-    candidate =
+let key ?(strategy = Scheduling.Scheduler.default_config.strategy) ?(tile = false)
+    ~machine kernel candidate =
   Service.Key.make
     ~flags:
       [ ("entry", "tune"); ("candidate", Candidate.digest candidate);
         ("strategy", Scheduling.Scheduler.strategy_name strategy)
       ]
-    ~kernel ~machine ~version:"tune-infl" ()
+    ~kernel ~machine
+    ~version:(if tile then "tune-tiled" else "tune-infl")
+    ()
 
 module J = Obs.Json
 
@@ -33,6 +36,7 @@ let measurement_to_json = function
         ("time_us", J.Float m.time_us);
         ("cycles", J.Float m.cycles);
         ("vec", J.Bool m.vec);
+        ("tiled", J.Bool m.tiled);
         ("influenced", J.Bool m.influenced)
       ]
 
@@ -49,9 +53,11 @@ let measurement_of_json j =
     let bool name =
       match J.member name j with Some (J.Bool b) -> Some b | _ -> None
     in
-    match (flt "time_us", flt "cycles", bool "vec", bool "influenced") with
-    | Some time_us, Some cycles, Some vec, Some influenced ->
-      Some (Some { time_us; cycles; vec; influenced })
+    match
+      (flt "time_us", flt "cycles", bool "vec", bool "tiled", bool "influenced")
+    with
+    | Some time_us, Some cycles, Some vec, Some tiled, Some influenced ->
+      Some (Some { time_us; cycles; vec; tiled; influenced })
     | _ -> None)
   | _ -> None
 
@@ -65,19 +71,29 @@ let find cache k =
       Some m
     | None -> None)
 
+(* step > 1 signals a vectorized loop, except on tile loops (dim <= -500),
+   which step by the tile size *)
 let rec has_vector_loop = function
   | Codegen.Ast.Stmts l -> List.exists has_vector_loop l
   | Codegen.Ast.If (_, b) -> has_vector_loop b
   | Codegen.Ast.Exec _ -> false
   | Codegen.Ast.VecExec _ -> true
-  | Codegen.Ast.For l -> l.Codegen.Ast.step > 1 || has_vector_loop l.Codegen.Ast.body
+  | Codegen.Ast.For l ->
+    (l.Codegen.Ast.step > 1 && l.Codegen.Ast.dim > -500)
+    || has_vector_loop l.Codegen.Ast.body
 
-let compute ?(strategy = Scheduling.Scheduler.default_config.strategy) ~machine kernel
-    (c : Candidate.t) =
+let compute ?(strategy = Scheduling.Scheduler.default_config.strategy) ?(tile = false)
+    ~machine kernel (c : Candidate.t) =
   Obs.Span.with_ "tune.eval" @@ fun () ->
   Obs.Counters.incr c_evals;
   match
-    let tree = Vectorizer.Treegen.influence_for ~weights:c.Candidate.weights kernel in
+    (* In tile mode the tree comes from the tiling client, so the
+       candidate's vectorizer weights are inert; its [order] still
+       selects among the tile-shape branches. *)
+    let tree =
+      if tile then Scheduling.Tiling.influence_for kernel
+      else Vectorizer.Treegen.influence_for ~weights:c.Candidate.weights kernel
+    in
     let tree =
       match c.Candidate.order with
       | None -> tree
@@ -86,12 +102,13 @@ let compute ?(strategy = Scheduling.Scheduler.default_config.strategy) ~machine 
     let config = { Scheduling.Scheduler.default_config with strategy } in
     let sched, stats = Scheduling.Scheduler.schedule ~config ~influence:tree kernel in
     let compiled =
-      Codegen.Compile.lower ~vectorize:true ~vec_min_parallel:2048 sched kernel
+      Codegen.Compile.lower ~vectorize:(not tile) ~vec_min_parallel:2048 sched kernel
     in
     let report = Gpusim.Sim.run ~machine compiled in
     { time_us = Gpusim.Sim.time_us report;
       cycles = Gpusim.Sim.cycles ~machine report;
       vec = has_vector_loop compiled.Codegen.Compile.ast;
+      tiled = Codegen.Tiling.applied compiled.Codegen.Compile.ast;
       influenced = not stats.Scheduling.Scheduler.influence_abandoned
     }
   with
@@ -102,11 +119,11 @@ let compute ?(strategy = Scheduling.Scheduler.default_config.strategy) ~machine 
 
 let store cache k m = Service.Cache.store cache k (measurement_to_json m)
 
-let measure ?cache ?strategy ~machine kernel candidate =
-  let k = key ?strategy ~machine kernel candidate in
+let measure ?cache ?strategy ?tile ~machine kernel candidate =
+  let k = key ?strategy ?tile ~machine kernel candidate in
   match Option.bind cache (fun c -> find c k) with
   | Some m -> m
   | None ->
-    let m = compute ?strategy ~machine kernel candidate in
+    let m = compute ?strategy ?tile ~machine kernel candidate in
     Option.iter (fun c -> store c k m) cache;
     m

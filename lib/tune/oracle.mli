@@ -18,20 +18,23 @@ type measurement = {
   time_us : float;  (** simulated execution time *)
   cycles : float;  (** {!Gpusim.Sim.cycles} on the same machine *)
   vec : bool;  (** lowering produced a vector loop *)
+  tiled : bool;  (** the backend tiling pass rewrote at least one chain *)
   influenced : bool;  (** scheduler accepted (some of) the influence tree *)
 }
 
 val key :
   ?strategy:Scheduling.Scheduler.strategy ->
+  ?tile:bool ->
   machine:Gpusim.Machine.t ->
   Ir.Kernel.t ->
   Candidate.t ->
   Service.Key.t
-(** Compile-cache key for this evaluation: version ["tune-infl"], flags
-    carrying the candidate digest and the scheduling strategy (default:
-    the scheduler's default).  The strategy changes measured compile-side
-    observability, never the schedule, but keeping the keys disjoint
-    means a strategy A/B run can trust every cached measurement. *)
+(** Compile-cache key for this evaluation: version ["tune-infl"]
+    (["tune-tiled"] when [tile] is set), flags carrying the candidate
+    digest and the scheduling strategy (default: the scheduler's
+    default).  The strategy changes measured compile-side observability,
+    never the schedule, but keeping the keys disjoint means a strategy
+    A/B run can trust every cached measurement. *)
 
 val find : Service.Cache.t -> Service.Key.t -> measurement option option
 (** [Some (Some m)] — cached successful measurement; [Some None] — the
@@ -41,19 +44,25 @@ val find : Service.Cache.t -> Service.Key.t -> measurement option option
 
 val compute :
   ?strategy:Scheduling.Scheduler.strategy ->
+  ?tile:bool ->
   machine:Gpusim.Machine.t ->
   Ir.Kernel.t ->
   Candidate.t ->
   measurement option
 (** Runs tree → schedule → lower → simulate; [None] if any stage
     raises (counted as [tune.eval_failures]).  Pure compute, safe to run
-    on worker domains. *)
+    on worker domains.  With [tile:true] the influence tree comes from
+    {!Scheduling.Tiling.influence_for} instead of the vectorizer (the
+    candidate's weights are inert, its [order] selects among tile-shape
+    branches) and lowering is unvectorized, mirroring the harness's
+    {b tiled} column. *)
 
 val store : Service.Cache.t -> Service.Key.t -> measurement option -> unit
 
 val measure :
   ?cache:Service.Cache.t ->
   ?strategy:Scheduling.Scheduler.strategy ->
+  ?tile:bool ->
   machine:Gpusim.Machine.t ->
   Ir.Kernel.t ->
   Candidate.t ->

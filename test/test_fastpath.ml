@@ -1,7 +1,8 @@
 (* Differential suite for the sub-ILP scheduling fast path.
 
-   The fast path's contract is exactness: for every kernel, under both
-   plain and influence-injected scheduling, `Fastpath_then_ilp produces
+   The fast path's contract is exactness: for every kernel, under plain,
+   vectorizer-influenced and tiling-influenced scheduling alike,
+   `Fastpath_then_ilp produces
    bit-identical schedule rows to `Ilp_only — the candidate it commits
    is provably the ILP's own lexicographic minimum, and anything it is
    unsure about falls back to the exact solver.  This suite checks that
@@ -53,6 +54,14 @@ let check_mode ~what ?influence k =
     (match Scheduling.Legality.check fast k deps with
     | Ok () -> ()
     | Error e -> Alcotest.failf "%s: fastpath schedule illegal: %s" what e);
+    (* annotations (influence_branch, tile_sizes) are deposited per
+       committed influence node, so they must agree too — a strategy that
+       commits the same rows off a different branch would break the
+       tiled column's cache coherence *)
+    if
+      List.sort compare fast.Scheduling.Schedule.annotations
+      <> List.sort compare exact.Scheduling.Schedule.annotations
+    then Alcotest.failf "%s: schedule annotations diverge" what;
     if Harness.Eval.rows_equal fast exact then
       () (* identical rows: the legality check above covers both *)
     else begin
@@ -69,6 +78,12 @@ let check_kernel ~name k =
   check_mode ~what:(name ^ "/isl") k;
   check_mode ~what:(name ^ "/infl")
     ~influence:(Vectorizer.Treegen.influence_for k)
+    k;
+  (* the tiling client injects through the same channel, so its trees
+     get the same exactness guarantee — rows and tile_sizes annotations
+     identical under both strategies *)
+  check_mode ~what:(name ^ "/tiled")
+    ~influence:(Scheduling.Tiling.influence_for k)
     k
 
 let test_zoo () =

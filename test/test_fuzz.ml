@@ -143,6 +143,31 @@ let test_broken_scheduler_caught () =
         (List.length fr.shrunk.Case.stmts <= 3))
     report.failures
 
+let test_broken_tiler_caught () =
+  (* the tiling acceptance canary: an off-by-one in the backend tiling
+     pass must surface as a tiled-version failure — and only as a
+     tiled-version failure, never misattributed to isl/novec/infl whose
+     lowering does not run the faulty pass *)
+  let report = run ~seed:42 ~count:30 ~tile_fault:Codegen.Tiling.Off_by_one () in
+  Alcotest.(check bool) "at least one case caught" true (report.failures <> []);
+  List.iter
+    (fun (fr : failure_report) ->
+      Alcotest.(check string)
+        (Printf.sprintf "case %d fails in the tiled version" fr.index)
+        "tiled"
+        (Check.version_name fr.failure.Check.version);
+      Alcotest.(check bool)
+        (Printf.sprintf "case %d shrunk to <= 3 statements" fr.index)
+        true
+        (List.length fr.shrunk.Case.stmts <= 3))
+    report.failures
+
+let test_max_tile_size_sweep () =
+  (* the --max-tile-size toggle must not break the clean sweep: capping
+     the proposed tile shapes only changes which schedules get tiled *)
+  let report = run ~seed:5 ~count:12 ~max_tile_size:2 () in
+  Alcotest.(check int) "no failures with capped tiles" 0 (List.length report.failures)
+
 (* ------------------------------------------------------------------ *)
 (* interpreter edge-case inputs                                         *)
 (* ------------------------------------------------------------------ *)
@@ -170,7 +195,9 @@ let () =
       ( "differential",
         [ Alcotest.test_case "clean sweep" `Slow test_clean_sweep;
           Alcotest.test_case "replay roundtrip" `Quick test_replay_roundtrip;
-          Alcotest.test_case "broken scheduler caught" `Slow test_broken_scheduler_caught
+          Alcotest.test_case "broken scheduler caught" `Slow test_broken_scheduler_caught;
+          Alcotest.test_case "broken tiler caught" `Slow test_broken_tiler_caught;
+          Alcotest.test_case "max tile size sweep" `Slow test_max_tile_size_sweep
         ] );
       ( "interp",
         [ Alcotest.test_case "randomize specials" `Quick test_randomize_covers_specials ] )

@@ -1,0 +1,229 @@
+(* Tiling as a constraint-injection client: end-to-end tests for
+   Scheduling.Tiling (band selection, tile-shape choice, influence-tree
+   construction) and the backend Codegen.Tiling pass consuming the
+   injected tile-shape annotation — plus golden CUDA snapshots for one
+   tiled stencil and one tiled contraction. *)
+
+open Ir
+open Codegen
+
+let schedule ?influence k = fst (Scheduling.Scheduler.schedule ?influence k)
+
+let tiled_lower k =
+  let tree = Scheduling.Tiling.influence_for k in
+  let sched = schedule ~influence:tree k in
+  Compile.lower ~vectorize:false sched k
+
+let semantics_match k ast =
+  let m1 = Interp.randomize k in
+  let m2 = Interp.copy m1 in
+  Interp.run_original k m1;
+  Interp.run_ast k ast m2;
+  Interp.equal m1 m2
+
+(* ------------------------------------------------------------------ *)
+(* band selection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Wavefront stencil x[i][j] = x[i-1][j+1]: the flow dependence moves
+   forward along i but backward along j, so only the outermost dimension
+   can join a band — too shallow to tile. *)
+let wavefront ?(n = 8) ?(m = 8) () =
+  let tensors = [ Build.tensor "x" [ n + 1; m + 1 ] ] in
+  let open Expr.Infix in
+  let s =
+    Build.stmt "W"
+      ~iters:[ ("i", n); ("j", m) ]
+      ~write:(Access.make "x" [ Build.idx_plus "i" 1; Build.idx "j" ])
+      ~rhs:
+        (Expr.load (Access.make "x" [ Build.idx "i"; Build.idx_plus "j" 1 ])
+        + Expr.const 1.0)
+  in
+  Build.kernel "wavefront" ~tensors ~stmts:[ s ]
+
+let test_band_depth_stencil () =
+  let k = Ops.Classics.stencil2d ~n:16 ~m:32 () in
+  let deps = Deps.Analysis.dependences k in
+  Alcotest.(check int) "independent stencil: full band" 2
+    (Scheduling.Tiling.band_depth k deps)
+
+let test_band_depth_matmul () =
+  let k = Ops.Classics.matmul ~n:8 ~m:8 ~k:8 () in
+  let deps = Deps.Analysis.dependences k in
+  (* the reduction dependence is forward on every dimension (0,0,+1) *)
+  Alcotest.(check int) "contraction: 3-deep band" 3
+    (Scheduling.Tiling.band_depth k deps)
+
+let test_band_depth_backward_dep () =
+  let k = wavefront () in
+  let deps = Deps.Analysis.dependences k in
+  Alcotest.(check int) "backward dependence stops the band" 1
+    (Scheduling.Tiling.band_depth k deps);
+  Alcotest.(check bool) "no influence tree for a 1-deep band" true
+    (Scheduling.Tiling.influence_for k = Scheduling.Influence.empty)
+
+let test_choose_sizes_respects_budget () =
+  let k = Ops.Classics.stencil2d ~n:256 ~m:512 () in
+  let model =
+    { Scheduling.Tiling.default_model with Scheduling.Tiling.shared_mem_bytes = 2048 }
+  in
+  let sizes = Scheduling.Tiling.choose_sizes model k 2 in
+  Alcotest.(check bool) "some dimension tiled" true (sizes <> []);
+  let elems =
+    List.fold_left (fun acc (_, s) -> acc * (s + model.Scheduling.Tiling.halo)) 1 sizes
+  in
+  Alcotest.(check bool) "tile footprint fits the budget" true
+    (elems * model.Scheduling.Tiling.elem_bytes * 2 <= 2048)
+
+(* ------------------------------------------------------------------ *)
+(* end-to-end: influence -> schedule -> annotation -> tiled AST         *)
+(* ------------------------------------------------------------------ *)
+
+let test_stencil_tiled_end_to_end () =
+  let k = Ops.Classics.stencil2d ~n:16 ~m:32 () in
+  let tree = Scheduling.Tiling.influence_for k in
+  Alcotest.(check bool) "tree nonempty" true (tree <> Scheduling.Influence.empty);
+  let sched = schedule ~influence:tree k in
+  Alcotest.(check bool) "tile-shape annotation injected" true
+    (Scheduling.Schedule.annotation sched Scheduling.Tiling.annotation_key <> None);
+  let c = Compile.lower ~vectorize:false sched k in
+  Alcotest.(check bool) "backend tiled the band" true (Tiling.applied c.Compile.ast);
+  Alcotest.(check bool) "tiled AST matches the interpreter" true
+    (semantics_match k c.Compile.ast)
+
+let test_matmul_tiled_end_to_end () =
+  let k = Ops.Classics.matmul ~n:8 ~m:8 ~k:8 () in
+  let c = tiled_lower k in
+  Alcotest.(check bool) "contraction tiled" true (Tiling.applied c.Compile.ast);
+  Alcotest.(check bool) "tiled contraction matches the interpreter" true
+    (semantics_match k c.Compile.ast)
+
+let test_backward_dep_untiled_end_to_end () =
+  let k = wavefront () in
+  let c = tiled_lower k in
+  Alcotest.(check bool) "wavefront left untiled" false (Tiling.applied c.Compile.ast);
+  Alcotest.(check bool) "still correct" true (semantics_match k c.Compile.ast)
+
+(* Every operator of the zoo, tiled, must agree bit-for-bit with the
+   reference interpreter on the original kernel — whether the tiling
+   influence stuck, was abandoned, or was refused by the backend. *)
+let test_all_small_tiled_semantics () =
+  List.iter
+    (fun (name, mk) ->
+      let k = mk () in
+      let c = tiled_lower k in
+      Alcotest.(check bool) (name ^ " tiled semantics") true
+        (semantics_match k c.Compile.ast))
+    Ops.Classics.all_small
+
+(* ------------------------------------------------------------------ *)
+(* identity and annotation edge cases                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_no_annotation_reproduces_untiled () =
+  let k = Ops.Classics.stencil2d ~n:16 ~m:32 () in
+  let sched = schedule k in
+  Alcotest.(check bool) "baseline schedule carries no tile annotation" true
+    (Scheduling.Tiling.sizes_of_schedule sched = None);
+  let plain = Compile.lower ~vectorize:false sched k in
+  Alcotest.(check bool) "nothing tiled" false (Tiling.applied plain.Compile.ast)
+
+let test_tile_size_one_is_identity () =
+  let k = Ops.Classics.stencil2d ~n:16 ~m:32 () in
+  let sched = schedule k in
+  let plain = Compile.lower ~vectorize:false sched k in
+  let one = Compile.lower ~vectorize:false ~tile_sizes:(fun _ -> Some 1) sched k in
+  Alcotest.(check string) "size-1 tiling emits bit-identical CUDA"
+    (Cuda.emit plain) (Cuda.emit one)
+
+let test_sizes_roundtrip () =
+  let sizes = [ (0, 16); (1, 8); (3, 4) ] in
+  Alcotest.(check (list (pair int int)))
+    "render/parse round-trip" sizes
+    (Scheduling.Tiling.parse_sizes (Scheduling.Tiling.render_sizes sizes));
+  Alcotest.(check (list (pair int int)))
+    "garbage rejected" []
+    (Scheduling.Tiling.parse_sizes "a:b,1,;;2:-4,3:1")
+
+(* ------------------------------------------------------------------ *)
+(* broken-tiler fault injection                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_off_by_one_fault_is_detectable () =
+  let k = Ops.Classics.stencil2d ~n:16 ~m:32 () in
+  let tree = Scheduling.Tiling.influence_for k in
+  let sched = schedule ~influence:tree k in
+  let broken =
+    Compile.lower ~vectorize:false ~tile_fault:Tiling.Off_by_one sched k
+  in
+  Alcotest.(check bool) "fault still produces a tiled AST" true
+    (Tiling.applied broken.Compile.ast);
+  Alcotest.(check bool) "off-by-one fault breaks semantics" false
+    (semantics_match k broken.Compile.ast)
+
+(* ------------------------------------------------------------------ *)
+(* golden CUDA snapshots                                                *)
+(* ------------------------------------------------------------------ *)
+
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Regenerate with AKG_UPDATE_GOLDEN=test/golden dune exec test/test_tiling.exe *)
+let check_golden_tiled name k =
+  let c = tiled_lower k in
+  Alcotest.(check bool) (name ^ " is tiled") true (Tiling.applied c.Compile.ast);
+  let cuda = Cuda.emit c in
+  match Sys.getenv_opt "AKG_UPDATE_GOLDEN" with
+  | Some dir ->
+    let file = Filename.concat dir (name ^ ".cu") in
+    let oc = open_out file in
+    output_string oc cuda;
+    close_out oc;
+    Printf.printf "wrote %s\n%!" file
+  | None -> (
+    let file = Filename.concat "golden" (name ^ ".cu") in
+    match read_file file with
+    | exception Sys_error e -> Alcotest.failf "cannot read golden %s: %s" file e
+    | expected ->
+      if String.trim expected <> String.trim cuda then
+        Alcotest.failf
+          "emitted CUDA for %s no longer matches %s:\n--- expected\n%s\n--- got\n%s"
+          name file expected cuda)
+
+let test_golden_tiled_stencil () =
+  check_golden_tiled "stencil2d_tiled" (Ops.Classics.stencil2d ~n:16 ~m:32 ())
+
+let test_golden_tiled_matmul () =
+  check_golden_tiled "matmul_tiled" (Ops.Classics.matmul ~n:8 ~m:8 ~k:8 ())
+
+let () =
+  Alcotest.run "tiling"
+    [ ( "band-selection",
+        [ Alcotest.test_case "stencil full band" `Quick test_band_depth_stencil;
+          Alcotest.test_case "matmul 3-deep band" `Quick test_band_depth_matmul;
+          Alcotest.test_case "backward dep rejected" `Quick test_band_depth_backward_dep;
+          Alcotest.test_case "sizes respect budget" `Quick test_choose_sizes_respects_budget
+        ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "stencil tiled" `Quick test_stencil_tiled_end_to_end;
+          Alcotest.test_case "matmul tiled" `Quick test_matmul_tiled_end_to_end;
+          Alcotest.test_case "wavefront untiled" `Quick test_backward_dep_untiled_end_to_end;
+          Alcotest.test_case "all_small semantics" `Quick test_all_small_tiled_semantics
+        ] );
+      ( "identity",
+        [ Alcotest.test_case "no annotation" `Quick test_no_annotation_reproduces_untiled;
+          Alcotest.test_case "size-1 identity" `Quick test_tile_size_one_is_identity;
+          Alcotest.test_case "sizes round-trip" `Quick test_sizes_roundtrip
+        ] );
+      ( "fault-injection",
+        [ Alcotest.test_case "off-by-one detectable" `Quick
+            test_off_by_one_fault_is_detectable
+        ] );
+      ( "golden-cuda",
+        [ Alcotest.test_case "tiled stencil" `Quick test_golden_tiled_stencil;
+          Alcotest.test_case "tiled matmul" `Quick test_golden_tiled_matmul
+        ] )
+    ]

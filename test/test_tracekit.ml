@@ -65,6 +65,23 @@ let check_golden name trace =
 let test_golden_fig2 () = check_golden "fig2" (Lazy.force fig2)
 let test_golden_lstm () = check_golden "lstm" (lstm_trace ())
 
+(* The tiling client's span and events must be part of the fingerprint:
+   a harness run emits [tiling.tree] and reports the per-op [tiled] flag,
+   so tiling regressions show up as golden drift. *)
+let test_fingerprint_covers_tiling () =
+  let fp = Obs.Summary.of_trace (Lazy.force fig2) in
+  Alcotest.(check bool) "tiling.tree event fingerprinted" true
+    (List.mem_assoc "tiling.tree" fp.Obs.Summary.kinds);
+  let tiled_version =
+    List.exists
+      (fun e ->
+        e.Obs.Tracefile.kind = "harness.version"
+        && Obs.Json.member "version" (Obs.Json.Assoc e.Obs.Tracefile.fields)
+           = Some (Obs.Json.String "tiled"))
+      (Lazy.force fig2).Obs.Tracefile.events
+  in
+  Alcotest.(check bool) "tiled version traced" true tiled_version
+
 (* ------------------------------------------------------------------ *)
 (* Diff semantics                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -302,7 +319,8 @@ let () =
   Alcotest.run "tracekit"
     [ ( "golden",
         [ Alcotest.test_case "fig2 fingerprint" `Quick test_golden_fig2;
-          Alcotest.test_case "lstm fingerprint" `Quick test_golden_lstm
+          Alcotest.test_case "lstm fingerprint" `Quick test_golden_lstm;
+          Alcotest.test_case "covers tiling" `Quick test_fingerprint_covers_tiling
         ] );
       ( "diff",
         [ Alcotest.test_case "same revision is clean" `Quick test_diff_same_revision;

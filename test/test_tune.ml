@@ -207,7 +207,8 @@ let test_fingerprint_name_independent () =
 (* ------------------------------------------------------------------ *)
 
 let measurement time_us =
-  { Tune.Oracle.time_us; cycles = time_us *. 1e3; vec = true; influenced = true }
+  { Tune.Oracle.time_us; cycles = time_us *. 1e3; vec = true; tiled = false;
+    influenced = true }
 
 (* The planted optimum: w1 = 8 scores 10us, any other deviation from the
    baseline 50us, the baseline itself 100us.  The search must walk off
@@ -340,6 +341,24 @@ let test_tuned_missing_record_falls_back () =
         b.Harness.Eval.infl_us)
     plain with_baseline
 
+(* The tile-mode oracle mirrors the harness's tiled column: the tiling
+   influence tree lands, the backend pass fires, and the cache keys stay
+   disjoint from the vectorizer-mode keys of the same candidate. *)
+let test_oracle_tile_mode () =
+  let kernel = Ops.Classics.stencil2d ~n:16 ~m:32 () in
+  let machine = Gpusim.Machine.v100 in
+  (match Tune.Oracle.compute ~tile:true ~machine kernel Tune.Candidate.baseline with
+  | None -> Alcotest.fail "tile-mode oracle evaluation failed"
+  | Some m ->
+    Alcotest.(check bool) "tile mode applies tiling" true m.Tune.Oracle.tiled;
+    Alcotest.(check bool) "tile mode never vectorizes" false m.Tune.Oracle.vec;
+    Alcotest.(check bool) "influence accepted" true m.Tune.Oracle.influenced);
+  let infl = Tune.Oracle.key ~machine kernel Tune.Candidate.baseline in
+  let tiled = Tune.Oracle.key ~tile:true ~machine kernel Tune.Candidate.baseline in
+  Alcotest.(check bool)
+    "tile and vectorizer measurements never collide" false
+    (Service.Key.digest infl = Service.Key.digest tiled)
+
 let test_tuned_changes_cache_key () =
   let kernel = classic "fig2" in
   let machine = Gpusim.Machine.v100 in
@@ -383,6 +402,7 @@ let () =
       ( "tuned",
         [ Alcotest.test_case "missing record falls back" `Quick
             test_tuned_missing_record_falls_back;
+          Alcotest.test_case "oracle tile mode" `Quick test_oracle_tile_mode;
           Alcotest.test_case "distinct cache keys" `Quick test_tuned_changes_cache_key
         ] )
     ]
