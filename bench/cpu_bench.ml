@@ -1,0 +1,159 @@
+(* CPU-backend benchmark: every classic-zoo operator through the C
+   emitter, host toolchain and runner, executed on the portable scalar
+   profile and on the host's best native SIMD profile; writes the numbers
+   to BENCH_PR10.json (schema akg-repro-bench-cpu).
+
+   Usage:  dune exec bench/cpu_bench.exe [OUT.json]
+
+   Unlike the simulated benches, every time here is *measured* on the
+   machine that runs the bench, so the committed numbers describe the CI
+   host, not the paper's GPU model — the perf-diff gate treats them with
+   the usual timing tolerance, while the exact metrics (executed
+   operators, bit-for-bit mismatches) must never regress.  Every executed
+   run is checked bit-for-bit against Interp.run_original; a mismatch
+   count other than zero fails the benchmark's contract.  Without a host
+   C compiler the bench still writes a valid (emit-only) document rather
+   than failing, mirroring the backend's own degradation. *)
+
+module J = Obs.Json
+
+let out_file = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_PR10.json"
+let reps = 5
+
+type row = {
+  op : string;
+  source_bytes : int;
+  vec : bool;
+  scalar : Harness.Eval.cpu_run;
+  simd : Harness.Eval.cpu_run;
+}
+
+let runner_ref : Codegen_cpu.Runner.t option ref = ref None
+
+(* Timing rows run the full-size zoo with the interpreter check off (the
+   reference interpreter is orders of magnitude slower than the compiled
+   C, and its time would dominate the bench); bit-identity is gated
+   separately on the small-size variants below. *)
+let run_one ?(check = false) machine (name, mk) =
+  fst
+    (Harness.Eval.evaluate_cpu_op ~machine ?runner:!runner_ref ~reps ~check ~name
+       (mk ()))
+
+let () =
+  (match Codegen_cpu.Runner.create () with
+   | Ok r -> runner_ref := Some r
+   | Error e ->
+     Printf.eprintf "cpu_bench: %s\n%!" (Codegen_cpu.Runner.error_message e));
+  let native =
+    match !runner_ref with
+    | Some r -> Codegen_cpu.Runner.native_profile r
+    | None -> Gpusim.Machine.avx2_8core
+  in
+  Printf.printf "cpu_bench: scalar-1core vs %s (%d ops, %d reps)\n%!"
+    native.Gpusim.Machine.name
+    (List.length Ops.Classics.all)
+    reps;
+  let rows =
+    List.map
+      (fun opk ->
+        let scalar = run_one Gpusim.Machine.scalar_1core opk in
+        let simd = run_one native opk in
+        let row =
+          { op = fst opk;
+            source_bytes = simd.Harness.Eval.source_bytes;
+            vec = simd.Harness.Eval.cpu_vec;
+            scalar;
+            simd
+          }
+        in
+        Printf.printf "  %-28s %6d B%s  scalar %9.1f us  %s %9.1f us%s\n%!" row.op
+          row.source_bytes
+          (if row.vec then " vec" else "    ")
+          (scalar.Harness.Eval.exec_best_s *. 1e6)
+          native.Gpusim.Machine.name
+          (simd.Harness.Eval.exec_best_s *. 1e6)
+          "";
+        row)
+      Ops.Classics.all
+  in
+  let executed r = r.scalar.Harness.Eval.executed && r.simd.Harness.Eval.executed in
+  let executed_ops = List.length (List.filter executed rows) in
+  let vectorized_ops = List.length (List.filter (fun r -> r.vec) rows) in
+  (* bit-identity gate: the small-size zoo, checked against the reference
+     interpreter on both profiles *)
+  let checked_rows =
+    List.map
+      (fun opk ->
+        let scalar = run_one ~check:true Gpusim.Machine.scalar_1core opk in
+        let simd = run_one ~check:true native opk in
+        (fst opk, scalar, simd))
+      Ops.Classics.all_small
+  in
+  let mismatch (c : Harness.Eval.cpu_run) = c.Harness.Eval.checked = Some false in
+  let mismatches =
+    List.length
+      (List.filter (fun (_, s, v) -> mismatch s || mismatch v) checked_rows)
+  in
+  List.iter
+    (fun (op, s, v) ->
+      if mismatch s || mismatch v then
+        Printf.printf "  MISMATCH on %s (small)\n%!" op)
+    checked_rows;
+  let speedups =
+    List.filter_map
+      (fun r ->
+        if executed r && r.simd.Harness.Eval.exec_best_s > 0. then
+          Some (r.scalar.Harness.Eval.exec_best_s /. r.simd.Harness.Eval.exec_best_s)
+        else None)
+      rows
+  in
+  let geomean = function
+    | [] -> 1.0
+    | xs ->
+      exp (List.fold_left (fun a x -> a +. log x) 0.0 xs /. float_of_int (List.length xs))
+  in
+  let total f =
+    List.fold_left (fun a r -> a +. f r.scalar +. f r.simd) 0.0 rows
+  in
+  let doc =
+    J.Assoc
+      [ ("schema", J.String "akg-repro-bench-cpu");
+        ("native_machine", J.String native.Gpusim.Machine.name);
+        ("toolchain",
+         J.String
+           (match !runner_ref with
+            | None -> "none"
+            | Some r -> (Codegen_cpu.Runner.toolchain r).Codegen_cpu.Toolchain.version));
+        ("ops", J.Int (List.length rows));
+        ("executed_ops", J.Int executed_ops);
+        ("vectorized_ops", J.Int vectorized_ops);
+        ("checked_ops", J.Int (List.length checked_rows));
+        ("mismatches", J.Int mismatches);
+        ("geomean_simd_speedup", J.Float (geomean speedups));
+        ("total_emit_s", J.Float (total (fun c -> c.Harness.Eval.emit_s)));
+        ("total_compile_s", J.Float (total (fun c -> c.Harness.Eval.compile_s)));
+        ("total_exec_s",
+         J.Float (total (fun c -> c.Harness.Eval.exec_best_s *. float_of_int reps)));
+        ("rows",
+         J.List
+           (List.map
+              (fun r ->
+                J.Assoc
+                  [ ("op", J.String r.op);
+                    ("source_bytes", J.Int r.source_bytes);
+                    ("vec", J.Bool r.vec);
+                    ("scalar_us", J.Float (r.scalar.Harness.Eval.exec_best_s *. 1e6));
+                    ("simd_us", J.Float (r.simd.Harness.Eval.exec_best_s *. 1e6));
+                  ])
+              rows))
+      ]
+  in
+  let oc = open_out out_file in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "cpu_bench: %d/%d executed, %d vectorized, %d mismatches, geomean SIMD speedup %.2fx -> %s\n%!"
+    executed_ops (List.length rows) vectorized_ops mismatches (geomean speedups)
+    out_file;
+  exit (if mismatches = 0 then 0 else 1)

@@ -209,14 +209,46 @@ let with_op f name =
 (* shared pipeline helpers                                              *)
 (* ------------------------------------------------------------------ *)
 
-type version = Isl | Novec | Infl | Tiled
+type version = Isl | Novec | Infl | Tiled | Cpu
 
 let version_conv =
-  Arg.enum [ ("isl", Isl); ("novec", Novec); ("infl", Infl); ("tiled", Tiled) ]
+  Arg.enum
+    [ ("isl", Isl); ("novec", Novec); ("infl", Infl); ("tiled", Tiled); ("cpu", Cpu) ]
 
 let version_arg =
-  let doc = "Compiler version: isl (baseline), novec, infl, or tiled." in
+  let doc =
+    "Compiler version: isl (baseline), novec, infl, tiled, or cpu (the C backend: \
+     same influenced schedule as infl, lowered to cache-blocked C with SIMD \
+     intrinsics instead of CUDA)."
+  in
   Arg.(value & opt version_conv Infl & info [ "version"; "v" ] ~doc)
+
+let machine_conv =
+  let parse s =
+    match Gpusim.Machine.of_name s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Gpusim.Machine.unknown_message s))
+  in
+  Arg.conv (parse, fun ppf (m : Gpusim.Machine.t) ->
+      Format.pp_print_string ppf m.Gpusim.Machine.name)
+
+let machine_arg =
+  let doc =
+    "Machine profile (GPU: $(b,v100), $(b,a100); CPU: $(b,avx2-8core), \
+     $(b,avx512-16core), $(b,neon-4core), $(b,scalar-1core))."
+  in
+  Arg.(value & opt (some machine_conv) None & info [ "machine"; "m" ] ~docv:"M" ~doc)
+
+(* the CPU profile a command targets: an explicit CPU machine wins; a GPU
+   machine (or none) falls back to the runner's native profile, or the
+   portable scalar profile without a toolchain *)
+let cpu_profile_for machine runner =
+  match machine with
+  | Some m when Gpusim.Machine.is_cpu m -> m
+  | _ -> (
+    match runner with
+    | Some r -> Codegen_cpu.Runner.native_profile r
+    | None -> Gpusim.Machine.scalar_1core)
 
 let tile_flag =
   let doc =
@@ -268,10 +300,10 @@ let compile ?strategy ?(tile = false) ?tile_spec version k =
   | Isl ->
     let sched, stats = Scheduling.Scheduler.schedule ~config k in
     (sched, stats, lower ~vectorize:false sched)
-  | Novec | Infl ->
+  | Novec | Infl | Cpu ->
     let tree = Vectorizer.Treegen.influence_for k in
     let sched, stats = Scheduling.Scheduler.schedule ~config ~influence:tree k in
-    (sched, stats, lower ~vectorize:(version = Infl) sched)
+    (sched, stats, lower ~vectorize:(version = Infl || version = Cpu) sched)
   | Tiled ->
     let tree = Scheduling.Tiling.influence_for k in
     let sched, stats = Scheduling.Scheduler.schedule ~config ~influence:tree k in
@@ -325,7 +357,7 @@ let schedule_cmd =
            | Tiled ->
              Format.printf "influence tree:@.%a@." Scheduling.Influence.pp
                (Scheduling.Tiling.influence_for k)
-           | Novec | Infl ->
+           | Novec | Infl | Cpu ->
              Format.printf "influence tree:@.%a@." Scheduling.Influence.pp
                (Vectorizer.Treegen.influence_for k));
         let sched, stats, _ = compile ~strategy ?tile_spec version k in
@@ -350,16 +382,27 @@ let schedule_cmd =
       $ tree_flag $ verbose_arg $ obs_term)
 
 let codegen_cmd =
-  let run name version tile tile_spec o =
+  let run name version machine tile tile_spec o =
     with_obs o @@ fun () ->
     with_op
       (fun k ->
         let _, _, c = compile ~tile ?tile_spec version k in
-        print_string (Codegen.Cuda.emit c))
+        match version with
+        | Cpu ->
+          let m = cpu_profile_for machine None in
+          print_string (Codegen_cpu.Cemit.emit ~machine:m c)
+        | Isl | Novec | Infl | Tiled -> print_string (Codegen.Cuda.emit c))
       name
   in
-  Cmd.v (Cmd.info "codegen" ~doc:"Print generated CUDA-like code")
-    Term.(const run $ op_arg $ version_arg $ tile_flag $ tile_sizes_arg $ obs_term)
+  Cmd.v
+    (Cmd.info "codegen"
+       ~doc:
+         "Print generated code: CUDA-like for the GPU versions, C with SIMD \
+          intrinsics for $(b,--version cpu) (select the CPU profile with \
+          $(b,--machine))")
+    Term.(
+      const run $ op_arg $ version_arg $ machine_arg $ tile_flag $ tile_sizes_arg
+      $ obs_term)
 
 let simulate_cmd =
   let run name version tile tile_spec o =
@@ -373,6 +416,121 @@ let simulate_cmd =
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Run the GPU performance model")
     Term.(const run $ op_arg $ version_arg $ tile_flag $ tile_sizes_arg $ obs_term)
+
+let cpu_run_cmd =
+  let emit_only_arg =
+    let doc = "Emit C only: never detect or invoke the host toolchain." in
+    Arg.(value & flag & info [ "emit-only" ] ~doc)
+  in
+  let source_arg =
+    let doc = "Also print the emitted C source." in
+    Arg.(value & flag & info [ "source" ] ~doc)
+  in
+  let reps_arg =
+    let doc = "Executions per kernel; the best wall-clock time is reported." in
+    Arg.(value & opt int 3 & info [ "reps" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Seed for the deterministic input generator." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let no_check_arg =
+    let doc = "Skip the bit-for-bit comparison against the reference interpreter." in
+    Arg.(value & flag & info [ "no-check" ] ~doc)
+  in
+  let all_arg =
+    let doc =
+      "Run the whole classic-operator zoo (through the sharded, cache-aware suite \
+       evaluator) instead of one operator."
+    in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let pp_run ppf (r : Harness.Eval.cpu_run) =
+    Format.fprintf ppf "%-28s %6d B%s" r.Harness.Eval.cpu_op r.Harness.Eval.source_bytes
+      (if r.Harness.Eval.cpu_vec then " vec" else "    ");
+    if r.Harness.Eval.compiled then
+      Format.fprintf ppf "  compile %6.1f ms%s" (r.Harness.Eval.compile_s *. 1e3)
+        (if r.Harness.Eval.compile_cache_hit then " (hit)" else "      ");
+    if r.Harness.Eval.executed then
+      Format.fprintf ppf "  best %9.2f us" (r.Harness.Eval.exec_best_s *. 1e6);
+    (match r.Harness.Eval.checked with
+     | Some true -> Format.fprintf ppf "  check OK"
+     | Some false -> Format.fprintf ppf "  check MISMATCH"
+     | None -> ());
+    match r.Harness.Eval.cpu_error with
+    | Some e -> Format.fprintf ppf "  [%s]" e
+    | None -> ()
+  in
+  let cpu_op_arg =
+    let doc =
+      "Operator name: a classic (see $(b,list)) or $(i,network/op).  Omit with \
+       $(b,--all)."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
+  in
+  let run name machine emit_only show_source reps seed no_check all jobs cache o =
+    with_obs o @@ fun () ->
+    let runner =
+      if emit_only then None
+      else
+        match Codegen_cpu.Runner.create () with
+        | Ok r -> Some r
+        | Error e ->
+          (* degradation is structured and non-fatal: emit-only still works *)
+          Format.eprintf "cpu-run: %s@." (Codegen_cpu.Runner.error_message e);
+          None
+    in
+    let machine = cpu_profile_for machine runner in
+    Format.printf "machine: %s (isa %s, %d f64 lanes, %d cores)%s@."
+      machine.Gpusim.Machine.name
+      (Gpusim.Machine.isa_name machine.Gpusim.Machine.isa)
+      (Gpusim.Machine.simd_width machine) machine.Gpusim.Machine.sm_count
+      (if runner = None then " — emit-only" else "");
+    if all then begin
+      let cache = open_cache cache in
+      let runs =
+        Service.Batch.evaluate_cpu_suite ~machine ?cache ?runner
+          ~check:(not no_check) ~jobs:(resolve_jobs jobs)
+          (List.map (fun (n, mk) -> (n, mk ())) Ops.Classics.all)
+      in
+      List.iter (fun r -> Format.printf "%a@." pp_run r) runs;
+      let mismatches =
+        List.filter (fun r -> r.Harness.Eval.checked = Some false) runs
+      in
+      Format.printf "%d operators, %d executed, %d mismatches@." (List.length runs)
+        (List.length (List.filter (fun r -> r.Harness.Eval.executed) runs))
+        (List.length mismatches);
+      if mismatches = [] then 0 else 1
+    end
+    else
+      match name with
+      | None ->
+        Format.eprintf "cpu-run: give an operator name or --all@.";
+        2
+      | Some name -> (
+        match find_op name with
+        | None ->
+          Format.eprintf "unknown operator %s (try the list command)@." name;
+          2
+        | Some k ->
+          let r, src =
+            Harness.Eval.evaluate_cpu_op ~machine ?runner ~reps ~check:(not no_check)
+              ~seed ~name k
+          in
+          if show_source then print_string src;
+          Format.printf "%a@." pp_run r;
+          if r.Harness.Eval.checked = Some false then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "cpu-run"
+       ~doc:
+         "Compile an operator through the CPU backend (influenced schedule, C \
+          emission with SIMD intrinsics), execute it with the host toolchain, and \
+          check the output bit-for-bit against the reference interpreter.  Without \
+          a host C compiler the command degrades to emit-only and still succeeds.")
+    Term.(
+      const run $ cpu_op_arg $ machine_arg $ emit_only_arg $ source_arg $ reps_arg
+      $ seed_arg $ no_check_arg $ all_arg $ jobs_arg $ cache_arg $ obs_term)
 
 let eval_cmd =
   let run name jobs cache tuned strategy o =
@@ -417,12 +575,27 @@ let check_cmd =
             Format.printf "%-6s %s@." label
               (if Interp.equal m1 m2 then "MATCH"
                else Printf.sprintf "MISMATCH (max diff %g)" (Interp.max_abs_diff m1 m2)))
-          [ ("isl", Isl); ("novec", Novec); ("infl", Infl); ("tiled", Tiled) ])
+          [ ("isl", Isl); ("novec", Novec); ("infl", Infl); ("tiled", Tiled) ];
+        (* the cpu row is an *executed* differential when a host toolchain
+           exists; otherwise it degrades to emit-only and says so *)
+        let runner =
+          match Codegen_cpu.Runner.create () with Ok r -> Some r | Error _ -> None
+        in
+        let machine = cpu_profile_for None runner in
+        let r, _ = Harness.Eval.evaluate_cpu_op ~machine ?runner ~name k in
+        Format.printf "%-6s %s@." "cpu"
+          (match (r.Harness.Eval.checked, r.Harness.Eval.cpu_error) with
+           | Some true, _ -> Printf.sprintf "MATCH (executed on %s)" machine.Gpusim.Machine.name
+           | Some false, _ -> "MISMATCH (executed C differs)"
+           | None, Some e -> Printf.sprintf "EMIT-ONLY (%s)" e
+           | None, None -> "EMIT-ONLY"))
       name
   in
   Cmd.v
     (Cmd.info "check"
-       ~doc:"Interpret original vs compiled code and compare results bit-for-bit")
+       ~doc:
+         "Interpret original vs compiled code and compare results bit-for-bit (the \
+          cpu row executes the emitted C when a host toolchain is available)")
     Term.(const run $ op_arg $ obs_term)
 
 let tune_tiles_cmd =
@@ -697,12 +870,30 @@ let fuzz_cmd =
     in
     Arg.(value & opt (some int) None & info [ "max-tile-size" ] ~docv:"T" ~doc)
   in
-  let run seed count replay out max_stmts max_rank max_extent skew max_tile_size jobs
-      strategy o =
+  let cpu_exec_arg =
+    let doc =
+      "Upgrade the cpu version's emit-only check to a compile+execute differential: \
+       every case's emitted C is built with the host toolchain, run, and compared \
+       bit-for-bit against the reference interpreter.  Falls back to emit-only (with \
+       a warning) when no compiler is found."
+    in
+    Arg.(value & flag & info [ "cpu-exec" ] ~doc)
+  in
+  let run seed count replay out max_stmts max_rank max_extent skew max_tile_size
+      cpu_exec jobs strategy o =
     with_obs o @@ fun () ->
+    let cpu_exec =
+      if not cpu_exec then None
+      else
+        match Codegen_cpu.Runner.create () with
+        | Ok r -> Some r
+        | Error e ->
+          Format.eprintf "fuzz: %s@." (Codegen_cpu.Runner.error_message e);
+          None
+    in
     match replay with
     | Some file -> (
-      match Fuzz.replay ~strategy ?max_tile_size file with
+      match Fuzz.replay ~strategy ?max_tile_size ?cpu_exec file with
       | Error e ->
         Format.eprintf "fuzz: %s@." e;
         2
@@ -724,7 +915,7 @@ let fuzz_cmd =
           (match r.Fuzz.file with Some f -> "\n  replay file: " ^ f | None -> "")
       in
       let report =
-        Fuzz.run ~config ~out_dir:out ~strategy ?max_tile_size ~progress
+        Fuzz.run ~config ~out_dir:out ~strategy ?max_tile_size ?cpu_exec ~progress
           ~jobs:(resolve_jobs jobs) ~seed ~count ()
       in
       let nfail = List.length report.Fuzz.failures in
@@ -736,12 +927,13 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:
          "Differentially fuzz the pipeline: random fused kernels through isl, novec, \
-          infl and tiled, checking interpreter bit-equality, schedule legality and AST \
-          well-formedness; failures are shrunk to minimal replayable cases")
+          infl, tiled and cpu, checking interpreter bit-equality, schedule legality, \
+          AST well-formedness and C emission (executed against the host toolchain \
+          with $(b,--cpu-exec)); failures are shrunk to minimal replayable cases")
     Term.(
       const run $ seed_arg $ count_arg $ replay_arg $ out_arg $ max_stmts_arg
-      $ max_rank_arg $ max_extent_arg $ skew_arg $ max_tile_size_arg $ jobs_arg
-      $ strategy_arg $ obs_term)
+      $ max_rank_arg $ max_extent_arg $ skew_arg $ max_tile_size_arg $ cpu_exec_arg
+      $ jobs_arg $ strategy_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* trace analytics: report / diff                                       *)
@@ -969,6 +1161,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ list_cmd; show_cmd; schedule_cmd; codegen_cmd; simulate_cmd; eval_cmd;
-            check_cmd; tune_cmd; tune_tiles_cmd; network_cmd; serve_cmd; fuzz_cmd;
-            report_cmd; diff_cmd; metrics_cmd; perf_diff_cmd ]))
+          [ list_cmd; show_cmd; schedule_cmd; codegen_cmd; simulate_cmd; cpu_run_cmd;
+            eval_cmd; check_cmd; tune_cmd; tune_tiles_cmd; network_cmd; serve_cmd;
+            fuzz_cmd; report_cmd; diff_cmd; metrics_cmd; perf_diff_cmd ]))

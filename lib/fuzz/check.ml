@@ -1,21 +1,25 @@
-type version = Isl | Novec | Infl | Tiled
+type version = Isl | Novec | Infl | Tiled | Cpu
 
-let versions = [ Isl; Novec; Infl; Tiled ]
+(* Cpu runs last: its checks subsume nothing, so an AST-level defect is
+   always attributed to the GPU-side version that first exposes it. *)
+let versions = [ Isl; Novec; Infl; Tiled; Cpu ]
 
 let version_name = function
   | Isl -> "isl"
   | Novec -> "novec"
   | Infl -> "infl"
   | Tiled -> "tiled"
+  | Cpu -> "cpu"
 
 let version_of_name = function
   | "isl" -> Some Isl
   | "novec" -> Some Novec
   | "infl" -> Some Infl
   | "tiled" -> Some Tiled
+  | "cpu" -> Some Cpu
   | _ -> None
 
-type stage = Convert | Schedule | Legality | Lower | Structure | Semantics
+type stage = Convert | Schedule | Legality | Lower | Structure | Emit | Semantics
 
 let stage_name = function
   | Convert -> "convert"
@@ -23,6 +27,7 @@ let stage_name = function
   | Legality -> "legality"
   | Lower -> "lower"
   | Structure -> "structure"
+  | Emit -> "emit"
   | Semantics -> "semantics"
 
 let stage_of_name = function
@@ -31,6 +36,7 @@ let stage_of_name = function
   | "legality" -> Some Legality
   | "lower" -> Some Lower
   | "structure" -> Some Structure
+  | "emit" -> Some Emit
   | "semantics" -> Some Semantics
   | _ -> None
 
@@ -99,16 +105,61 @@ let guard version stage f =
   try f ()
   with e -> Error { version; stage; message = Printexc.to_string e }
 
+let has_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+(* The cpu version's semantics check: compile the emitted C on the host
+   toolchain, execute it, and compare the output buffers bit-for-bit
+   against the reference interpreter — the executed twin of the
+   AST-interpretation check the GPU-side versions get. *)
+let check_cpu_executed runner ~machine k src =
+  match Codegen_cpu.Runner.build_source runner ~machine src with
+  | Error e ->
+    Error
+      { version = Cpu; stage = Semantics;
+        message = Codegen_cpu.Runner.error_message e
+      }
+  | Ok built -> (
+    let m1 = Interp.randomize k in
+    let inputs =
+      Array.of_list
+        (List.map
+           (fun (t : Ir.Tensor.t) -> Array.copy (Hashtbl.find m1 t.Ir.Tensor.name))
+           k.Ir.Kernel.tensors)
+    in
+    match Codegen_cpu.Runner.execute ~reps:1 runner built ~inputs with
+    | Error e ->
+      Error
+        { version = Cpu; stage = Semantics;
+          message = Codegen_cpu.Runner.error_message e
+        }
+    | Ok (outputs, _) ->
+      Interp.run_original k m1;
+      let m2 = Hashtbl.create 8 in
+      List.iteri
+        (fun i (t : Ir.Tensor.t) -> Hashtbl.replace m2 t.Ir.Tensor.name outputs.(i))
+        k.Ir.Kernel.tensors;
+      if Interp.equal m1 m2 then Ok ()
+      else
+        Error
+          { version = Cpu; stage = Semantics;
+            message =
+              Printf.sprintf "executed C differs bit-for-bit (max abs diff %g)"
+                (Interp.max_abs_diff m1 m2)
+          })
+
 let check_version ?(perturb = fun _ s -> s)
     ?(strategy = Scheduling.Scheduler.default_config.strategy) ?max_tile_size
-    ?tile_fault k deps version =
+    ?tile_fault ?cpu_exec k deps version =
   let config = { Scheduling.Scheduler.default_config with strategy } in
   let* sched =
     guard version Schedule (fun () ->
         let s =
           match version with
           | Isl -> fst (Scheduling.Scheduler.schedule ~config k)
-          | Novec | Infl ->
+          | Novec | Infl | Cpu ->
             let tree = Vectorizer.Treegen.influence_for k in
             fst (Scheduling.Scheduler.schedule ~config ~influence:tree k)
           | Tiled ->
@@ -128,38 +179,66 @@ let check_version ?(perturb = fun _ s -> s)
         (* [tile_fault] only reaches the version that tiles, so a broken
            tiler shows up as a tiled-version failure, not an isl one. *)
         let tile_fault = if version = Tiled then tile_fault else None in
-        Ok (Codegen.Compile.lower ~vectorize:(version = Infl) ?tile_fault sched k))
+        Ok
+          (Codegen.Compile.lower
+             ~vectorize:(version = Infl || version = Cpu)
+             ?tile_fault sched k))
   in
   let* () =
     match well_formed c with
     | Ok () -> Ok ()
     | Error m -> Error { version; stage = Structure; message = m }
   in
-  guard version Semantics (fun () ->
-      let m1 = Interp.randomize k in
-      let m2 = Interp.copy m1 in
-      Interp.run_original k m1;
-      Interp.run_ast k c.Codegen.Compile.ast m2;
-      if Interp.equal m1 m2 then Ok ()
-      else
-        Error
-          { version;
-            stage = Semantics;
-            message =
-              Printf.sprintf "bit-for-bit mismatch (max abs diff %g)"
-                (Interp.max_abs_diff m1 m2)
-          })
+  match version with
+  | Cpu ->
+    (* emit-only by default (toolchain-independent, shrink-probe cheap);
+       with [cpu_exec] the emitted C is also compiled and executed *)
+    let machine =
+      match cpu_exec with
+      | Some runner -> Codegen_cpu.Runner.native_profile runner
+      | None -> Gpusim.Machine.avx2_8core
+    in
+    let* src =
+      guard version Emit (fun () ->
+          let src = Codegen_cpu.Cemit.emit ~machine c in
+          if not (has_substring src Codegen_cpu.Cemit.entry_symbol) then
+            Error
+              { version; stage = Emit;
+                message = "emitted C lacks the kernel entry symbol"
+              }
+          else Ok src)
+    in
+    (match cpu_exec with
+     | None -> Ok ()
+     | Some runner ->
+       guard version Semantics (fun () -> check_cpu_executed runner ~machine k src))
+  | Isl | Novec | Infl | Tiled ->
+    guard version Semantics (fun () ->
+        let m1 = Interp.randomize k in
+        let m2 = Interp.copy m1 in
+        Interp.run_original k m1;
+        Interp.run_ast k c.Codegen.Compile.ast m2;
+        if Interp.equal m1 m2 then Ok ()
+        else
+          Error
+            { version;
+              stage = Semantics;
+              message =
+                Printf.sprintf "bit-for-bit mismatch (max abs diff %g)"
+                  (Interp.max_abs_diff m1 m2)
+            })
 
-let run ?perturb ?strategy ?max_tile_size ?tile_fault k =
+let run ?perturb ?strategy ?max_tile_size ?tile_fault ?cpu_exec k =
   let* deps = guard Isl Schedule (fun () -> Ok (Deps.Analysis.dependences k)) in
   List.fold_left
     (fun acc v ->
       match acc with
       | Error _ -> acc
-      | Ok () -> check_version ?perturb ?strategy ?max_tile_size ?tile_fault k deps v)
+      | Ok () ->
+        check_version ?perturb ?strategy ?max_tile_size ?tile_fault ?cpu_exec k deps v)
     (Ok ()) versions
 
-let run_case ?perturb ?strategy ?max_tile_size ?tile_fault case =
+let run_case ?perturb ?strategy ?max_tile_size ?tile_fault ?cpu_exec case =
   match Case.to_kernel case with
   | Error m -> Error { version = Isl; stage = Convert; message = m }
-  | Ok k -> run ?perturb ?strategy ?max_tile_size ?tile_fault k
+  | Ok k -> run ?perturb ?strategy ?max_tile_size ?tile_fault ?cpu_exec k

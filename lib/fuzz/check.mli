@@ -1,4 +1,4 @@
-(** The differential oracle: one kernel through the full pipeline, four
+(** The differential oracle: one kernel through the full pipeline, five
     compiler versions, independent checks per version.
 
     For each of {b isl} (baseline schedule, no vectorization),
@@ -9,15 +9,22 @@
     well-formedness pass over the emitted AST, and a bit-for-bit
     comparison of {!Interp.run_original} against {!Interp.run_ast}.  The
     first failing stage is reported; exceptions anywhere in the pipeline
-    are caught and attributed to the stage that raised. *)
+    are caught and attributed to the stage that raised.
 
-type version = Isl | Novec | Infl | Tiled
+    The {b cpu} version (always last) pushes the influenced+vectorized
+    lowering through the C emitter ({!Codegen_cpu.Cemit}): by default an
+    emit-only structural check — toolchain-independent and cheap enough
+    for shrink probes — and, when a {!Codegen_cpu.Runner.t} is supplied,
+    a compile+execute differential comparing the executed C's output
+    buffers bit-for-bit against {!Interp.run_original}. *)
+
+type version = Isl | Novec | Infl | Tiled | Cpu
 
 val versions : version list
 val version_name : version -> string
 val version_of_name : string -> version option
 
-type stage = Convert | Schedule | Legality | Lower | Structure | Semantics
+type stage = Convert | Schedule | Legality | Lower | Structure | Emit | Semantics
 
 val stage_name : stage -> string
 val stage_of_name : string -> stage option
@@ -39,21 +46,25 @@ val run :
   ?strategy:Scheduling.Scheduler.strategy ->
   ?max_tile_size:int ->
   ?tile_fault:Codegen.Tiling.fault ->
+  ?cpu_exec:Codegen_cpu.Runner.t ->
   Ir.Kernel.t ->
   (unit, failure) result
-(** Pushes the kernel through all four versions; [perturb] rewrites each
+(** Pushes the kernel through all five versions; [perturb] rewrites each
     computed schedule before validation and lowering (the hook tests use
     to inject a deliberately-broken scheduler); [strategy] selects the
     scheduling strategy (default: the scheduler's default).
     [max_tile_size] caps the tile shapes the tiled version's influence
     tree proposes; [tile_fault] injects {!Codegen.Tiling.fault} into the
-    tiled version only — the broken-tiler canary. *)
+    tiled version only — the broken-tiler canary.  [cpu_exec] upgrades
+    the cpu version from emit-only to an executed-C differential on that
+    runner's native profile. *)
 
 val run_case :
   ?perturb:(version -> Scheduling.Schedule.t -> Scheduling.Schedule.t) ->
   ?strategy:Scheduling.Scheduler.strategy ->
   ?max_tile_size:int ->
   ?tile_fault:Codegen.Tiling.fault ->
+  ?cpu_exec:Codegen_cpu.Runner.t ->
   Case.t ->
   (unit, failure) result
 (** {!Case.to_kernel} followed by {!run}; conversion errors surface as a

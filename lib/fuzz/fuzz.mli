@@ -42,6 +42,7 @@ val run :
   ?strategy:Scheduling.Scheduler.strategy ->
   ?max_tile_size:int ->
   ?tile_fault:Codegen.Tiling.fault ->
+  ?cpu_exec:Codegen_cpu.Runner.t ->
   ?progress:(failure_report -> unit) ->
   ?jobs:int ->
   seed:int ->
@@ -57,7 +58,9 @@ val run :
     scheduler.  [max_tile_size] caps the tiled version's tile shapes;
     [tile_fault] injects a deliberate backend tiling bug into the tiled
     version only — the hook used to prove the fuzzer catches a broken
-    tiler.  [progress] is called after each failure is minimized.
+    tiler.  [cpu_exec] upgrades the cpu version's emit-only check to a
+    compile+execute differential on that runner (the CLI's [--cpu-exec]).
+    [progress] is called after each failure is minimized.
 
     [jobs > 1] shards the generate+check phase across a
     {!Service.Pool}.  Cases are a pure function of [(seed, index)], so
@@ -78,6 +81,7 @@ val replay :
   ?strategy:Scheduling.Scheduler.strategy ->
   ?max_tile_size:int ->
   ?tile_fault:Codegen.Tiling.fault ->
+  ?cpu_exec:Codegen_cpu.Runner.t ->
   string ->
   (Case.t * (unit, Check.failure) result, string) result
 (** Loads a replay file and re-runs the differential check on its case:

@@ -1,3 +1,5 @@
+type isa = Ptx | Avx2 | Avx512 | Neon | Scalar_c
+
 type t = {
   name : string;
   warp_size : int;
@@ -14,7 +16,15 @@ type t = {
   l2_bytes : int;
   shared_bandwidth : float;
   l2_bandwidth : float;
+  isa : isa;
 }
+
+let isa_name = function
+  | Ptx -> "ptx"
+  | Avx2 -> "avx2"
+  | Avx512 -> "avx512"
+  | Neon -> "neon"
+  | Scalar_c -> "scalar"
 
 let v100 =
   { name = "tesla-v100-pcie-16gb";
@@ -31,7 +41,8 @@ let v100 =
     shared_mem_per_sm = 96 * 1024;
     l2_bytes = 6 * 1024 * 1024;
     shared_bandwidth = 13.8e12;
-    l2_bandwidth = 2.5e12
+    l2_bandwidth = 2.5e12;
+    isa = Ptx
   }
 
 (* An Ampere-class profile: more SMs, faster DRAM, same warp geometry.  Used
@@ -53,15 +64,62 @@ let a100 =
     shared_mem_per_sm = 164 * 1024;
     l2_bytes = 40 * 1024 * 1024;
     shared_bandwidth = 19.5e12;
-    l2_bandwidth = 5.0e12
+    l2_bandwidth = 5.0e12;
+    isa = Ptx
   }
 
-let all = [ v100; a100 ]
+(* CPU profiles for the codegen_cpu backend.  [warp_size] doubles as the
+   f64 SIMD lane count, [sm_count] as the core count; the bandwidth and
+   latency figures are desktop-class ballparks — the CPU path reports
+   *measured* times via the runner, so only the emitter cares about the
+   precise numbers (lane width, cores). *)
+let cpu_profile ~name ~isa ~cores ~lanes =
+  { name;
+    warp_size = lanes;
+    sector_bytes = 64; (* cache line *)
+    clock_hz = 3.0e9;
+    sm_count = cores;
+    max_resident_warps = 2 * cores;
+    dram_bandwidth = 40e9;
+    mem_latency_cycles = 240.0;
+    memory_parallelism = 10.0;
+    flops_peak = float_of_int (cores * lanes * 2) *. 3.0e9;
+    launch_overhead_s = 1e-7;
+    shared_mem_per_sm = 32 * 1024; (* per-core L1d *)
+    l2_bytes = cores * 1024 * 1024;
+    shared_bandwidth = 1.0e12;
+    l2_bandwidth = 400e9;
+    isa
+  }
+
+let avx2_8core = cpu_profile ~name:"avx2-8core" ~isa:Avx2 ~cores:8 ~lanes:4
+let avx512_16core = cpu_profile ~name:"avx512-16core" ~isa:Avx512 ~cores:16 ~lanes:8
+let neon_4core = cpu_profile ~name:"neon-4core" ~isa:Neon ~cores:4 ~lanes:2
+let scalar_1core = cpu_profile ~name:"scalar-1core" ~isa:Scalar_c ~cores:1 ~lanes:1
+
+let all = [ v100; a100; avx2_8core; avx512_16core; neon_4core; scalar_1core ]
+let cpu_profiles = [ avx2_8core; avx512_16core; neon_4core; scalar_1core ]
+
+let is_cpu m = m.isa <> Ptx
+
+let simd_width m =
+  match m.isa with Avx512 -> 8 | Avx2 -> 4 | Neon -> 2 | Scalar_c | Ptx -> 1
+
+let aliases =
+  [ ("v100", v100); ("a100", a100); ("avx2", avx2_8core);
+    ("avx512", avx512_16core); ("neon", neon_4core); ("scalar", scalar_1core)
+  ]
+
+let names = List.map fst aliases @ List.map (fun m -> m.name) all
 
 (* Short aliases let CLI flags and serve requests say "v100" while cache
    keys keep the full marketing name. *)
 let of_name s =
-  match String.lowercase_ascii s with
-  | "v100" -> Some v100
-  | "a100" -> Some a100
-  | lower -> List.find_opt (fun m -> m.name = lower) all
+  match List.assoc_opt (String.lowercase_ascii s) aliases with
+  | Some m -> Some m
+  | None ->
+    let lower = String.lowercase_ascii s in
+    List.find_opt (fun m -> m.name = lower) all
+
+let unknown_message s =
+  Printf.sprintf "unknown machine %S (known: %s)" s (String.concat ", " names)

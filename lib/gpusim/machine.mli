@@ -8,6 +8,11 @@
     latency to hide), and small kernels cannot saturate the memory
     system. *)
 
+type isa = Ptx | Avx2 | Avx512 | Neon | Scalar_c
+(** Instruction set the codegen backend should target: [Ptx] for the CUDA
+    emitter + simulator path, the rest for the [codegen_cpu] C emitter
+    (AVX2/AVX-512/NEON intrinsics or portable scalar C). *)
+
 type t = {
   name : string;
   warp_size : int;
@@ -29,6 +34,7 @@ type t = {
       (** aggregate shared-memory bytes/second (an order of magnitude above
           DRAM: hits here are nearly free on bandwidth-bound kernels) *)
   l2_bandwidth : float;  (** aggregate L2 bytes/second *)
+  isa : isa;
 }
 
 val v100 : t
@@ -36,9 +42,42 @@ val v100 : t
 val a100 : t
 (** An Ampere-class profile, for cross-generation ranking checks. *)
 
+val avx2_8core : t
+(** Desktop-class x86 profile: 8 cores, 256-bit vectors (4 f64 lanes). *)
+
+val avx512_16core : t
+(** Server-class x86 profile: 16 cores, 512-bit vectors (8 f64 lanes). *)
+
+val neon_4core : t
+(** AArch64 profile: 4 cores, 128-bit vectors (2 f64 lanes). *)
+
+val scalar_1core : t
+(** Portable scalar-C fallback profile: no intrinsics, single core. *)
+
 val all : t list
 
+val cpu_profiles : t list
+(** The profiles the CPU backend can emit for (everything but PTX). *)
+
+val is_cpu : t -> bool
+(** True for every profile whose [isa] is not [Ptx]; such machines are
+    served by [codegen_cpu] rather than the CUDA emitter + simulator. *)
+
+val simd_width : t -> int
+(** f64 SIMD lanes of the profile's widest vector (1 for scalar/PTX). *)
+
+val isa_name : isa -> string
+(** Lowercase tag ("ptx", "avx2", ...) used in cache keys and reports. *)
+
+val names : string list
+(** Every accepted [of_name] spelling: short aliases then full profile
+    names — the vocabulary quoted by unknown-machine errors. *)
+
 val of_name : string -> t option
-(** Lookup by full profile name or short alias ("v100", "a100"),
-    case-insensitively — the resolver behind [--machine] and the serve
-    protocol's ["machine"] field. *)
+(** Lookup by full profile name or short alias ("v100", "a100", "avx2",
+    "scalar", ...), case-insensitively — the resolver behind [--machine]
+    and the serve protocol's ["machine"] field. *)
+
+val unknown_message : string -> string
+(** [unknown_message s] is the standard error text for a failed lookup,
+    listing every known machine name. *)

@@ -323,6 +323,174 @@ let aggregate results =
     i_infl_ms = ims (fun r -> r.infl_us)
   }
 
+(* ------------------------------------------------------------------ *)
+(* CPU backend evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The CPU path reports *measured* wall-clock times (or degrades to
+   emit-only), so it lives beside the simulated Table II columns rather
+   than inside [op_result]: the default tables must stay bit-identical
+   across hosts, toolchains and cache temperature. *)
+type cpu_run = {
+  cpu_op : string;
+  cpu_machine : string;
+  cpu_isa : string;
+  source_bytes : int;
+  emit_s : float;
+  cpu_vec : bool;  (* emitted AST contains a vector strip *)
+  compiled : bool;
+  compile_cache_hit : bool;
+  compile_s : float;
+  executed : bool;
+  exec_best_s : float;  (* best-of-reps kernel wall time; 0 when not executed *)
+  checked : bool option;  (* executed output vs Interp.run_original *)
+  cpu_error : string option;  (* structured degradation reason *)
+}
+
+let memory_to_buffers (k : Ir.Kernel.t) mem =
+  Array.of_list
+    (List.map
+       (fun (t : Ir.Tensor.t) -> Array.copy (Hashtbl.find mem t.Ir.Tensor.name))
+       k.Ir.Kernel.tensors)
+
+let buffers_to_memory (k : Ir.Kernel.t) bufs =
+  let mem = Hashtbl.create 8 in
+  List.iteri
+    (fun i (t : Ir.Tensor.t) -> Hashtbl.replace mem t.Ir.Tensor.name bufs.(i))
+    k.Ir.Kernel.tensors;
+  mem
+
+let evaluate_cpu_op ?(machine = Gpusim.Machine.scalar_1core) ?runner ?strategy
+    ?(reps = 3) ?(check = true) ?(seed = 42) ~name kernel =
+  Obs.Span.with_ "harness.cpu_op" @@ fun () ->
+  let kernel = Ir.Kernel.instantiate kernel in
+  let tree = Vectorizer.Treegen.influence_for kernel in
+  let sched, _, _ = timed_schedule ~influence:tree ?strategy kernel in
+  let compiled =
+    Codegen.Compile.lower ~vectorize:true ~vec_min_parallel:2048 sched kernel
+  in
+  let source, emit_s =
+    Obs.Span.timed (fun () -> Codegen_cpu.Cemit.emit ~machine compiled)
+  in
+  let base =
+    { cpu_op = name;
+      cpu_machine = machine.Gpusim.Machine.name;
+      cpu_isa = Gpusim.Machine.isa_name machine.Gpusim.Machine.isa;
+      source_bytes = String.length source;
+      emit_s;
+      cpu_vec = has_vector_loop compiled.Codegen.Compile.ast;
+      compiled = false;
+      compile_cache_hit = false;
+      compile_s = 0.0;
+      executed = false;
+      exec_best_s = 0.0;
+      checked = None;
+      cpu_error = None
+    }
+  in
+  let r =
+    match runner with
+    | None ->
+      (* the caller knows why there is no runner (missing compiler — it
+         already surfaced Runner.error_message — or emit-only was
+         requested); don't claim "no compiler" on its behalf *)
+      { base with cpu_error = Some "emit-only (no runner)" }
+    | Some runner -> (
+      match Codegen_cpu.Runner.build_source runner ~machine source with
+      | Error e -> { base with cpu_error = Some (Codegen_cpu.Runner.error_message e) }
+      | Ok built -> (
+        let base =
+          { base with
+            compiled = true;
+            compile_cache_hit = built.Codegen_cpu.Runner.cache_hit;
+            compile_s = built.Codegen_cpu.Runner.compile_s
+          }
+        in
+        let mem = Interp.randomize ~seed kernel in
+        let inputs = memory_to_buffers kernel mem in
+        match Codegen_cpu.Runner.execute ~reps runner built ~inputs with
+        | Error e -> { base with cpu_error = Some (Codegen_cpu.Runner.error_message e) }
+        | Ok (outputs, best_s) ->
+          let checked =
+            if not check then None
+            else begin
+              let reference = Interp.copy mem in
+              Interp.run_original kernel reference;
+              Some (Interp.equal reference (buffers_to_memory kernel outputs))
+            end
+          in
+          { base with executed = true; exec_best_s = best_s; checked }))
+  in
+  Obs.Trace.emitf "harness.cpu_op" (fun () ->
+      [ ("op", Obs.Json.String name);
+        ("machine", Obs.Json.String r.cpu_machine);
+        ("vec", Obs.Json.Bool r.cpu_vec);
+        ("compiled", Obs.Json.Bool r.compiled);
+        ("executed", Obs.Json.Bool r.executed);
+        ("exec_us", Obs.Json.Float (r.exec_best_s *. 1e6));
+        ( "checked",
+          match r.checked with Some b -> Obs.Json.Bool b | None -> Obs.Json.Null );
+        ( "error",
+          match r.cpu_error with Some e -> Obs.Json.String e | None -> Obs.Json.Null )
+      ]);
+  (r, source)
+
+let cpu_run_to_json (r : cpu_run) =
+  J.Assoc
+    [ ("op", J.String r.cpu_op);
+      ("machine", J.String r.cpu_machine);
+      ("isa", J.String r.cpu_isa);
+      ("source_bytes", J.Int r.source_bytes);
+      ("emit_s", J.Float r.emit_s);
+      ("vec", J.Bool r.cpu_vec);
+      ("compiled", J.Bool r.compiled);
+      ("compile_cache_hit", J.Bool r.compile_cache_hit);
+      ("compile_s", J.Float r.compile_s);
+      ("executed", J.Bool r.executed);
+      ("exec_best_s", J.Float r.exec_best_s);
+      ("checked", match r.checked with Some b -> J.Bool b | None -> J.Null);
+      ("error", match r.cpu_error with Some e -> J.String e | None -> J.Null)
+    ]
+
+let cpu_run_of_json j =
+  let ( let* ) = Result.bind in
+  let str k o = match J.member k o with Some (J.String s) -> Ok s | _ -> Error ("missing string " ^ k) in
+  let num k o =
+    match J.member k o with
+    | Some (J.Float f) -> Ok f
+    | Some (J.Int i) -> Ok (float_of_int i)
+    | _ -> Error ("missing number " ^ k)
+  in
+  let int k o = match J.member k o with Some (J.Int i) -> Ok i | _ -> Error ("missing int " ^ k) in
+  let bool k o = match J.member k o with Some (J.Bool b) -> Ok b | _ -> Error ("missing bool " ^ k) in
+  let* cpu_op = str "op" j in
+  let* cpu_machine = str "machine" j in
+  let* cpu_isa = str "isa" j in
+  let* source_bytes = int "source_bytes" j in
+  let* emit_s = num "emit_s" j in
+  let* cpu_vec = bool "vec" j in
+  let* compiled = bool "compiled" j in
+  let* compile_cache_hit = bool "compile_cache_hit" j in
+  let* compile_s = num "compile_s" j in
+  let* executed = bool "executed" j in
+  let* exec_best_s = num "exec_best_s" j in
+  let* checked =
+    match J.member "checked" j with
+    | Some (J.Bool b) -> Ok (Some b)
+    | Some J.Null -> Ok None
+    | _ -> Error "missing checked"
+  in
+  let* cpu_error =
+    match J.member "error" j with
+    | Some (J.String e) -> Ok (Some e)
+    | Some J.Null -> Ok None
+    | _ -> Error "missing error"
+  in
+  Ok
+    { cpu_op; cpu_machine; cpu_isa; source_bytes; emit_s; cpu_vec; compiled;
+      compile_cache_hit; compile_s; executed; exec_best_s; checked; cpu_error
+    }
+
 let speedup isl x = if x > 0.0 then isl /. x else nan
 
 let geomean xs =

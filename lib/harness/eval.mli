@@ -103,6 +103,62 @@ val evaluate_suite :
   (string * Ir.Kernel.t) list ->
   op_result list
 
+type cpu_run = {
+  cpu_op : string;
+  cpu_machine : string;
+  cpu_isa : string;
+  source_bytes : int;
+  emit_s : float;
+  cpu_vec : bool;  (** emitted AST contains a vector strip *)
+  compiled : bool;
+  compile_cache_hit : bool;
+  compile_s : float;
+  executed : bool;
+  exec_best_s : float;
+      (** best-of-reps measured kernel wall time; 0 when not executed *)
+  checked : bool option;
+      (** [Some ok]: executed output compared bit-for-bit against
+          [Interp.run_original]; [None] when execution or checking was
+          skipped *)
+  cpu_error : string option;
+      (** structured degradation reason (no compiler, unsupported ISA,
+          compile or execution failure) — the run still returns a record *)
+}
+(** One operator through the CPU backend.  Unlike {!op_result} this holds
+    {e measured} times (or an emit-only degradation), so it is kept out of
+    the simulated Table II columns, which must stay bit-identical across
+    hosts and toolchains. *)
+
+val memory_to_buffers : Ir.Kernel.t -> Interp.memory -> float array array
+(** Tensor contents flattened row-major, in [kernel.tensors] order — the
+    input layout {!Codegen_cpu.Runner.execute} expects. *)
+
+val buffers_to_memory : Ir.Kernel.t -> float array array -> Interp.memory
+(** Inverse of {!memory_to_buffers}: rebuild an interpreter memory from
+    the runner's output buffers for bit-exact comparison. *)
+
+val evaluate_cpu_op :
+  ?machine:Gpusim.Machine.t ->
+  ?runner:Codegen_cpu.Runner.t ->
+  ?strategy:Scheduling.Scheduler.strategy ->
+  ?reps:int ->
+  ?check:bool ->
+  ?seed:int ->
+  name:string ->
+  Ir.Kernel.t ->
+  cpu_run * string
+(** Influence-schedule, lower, and emit C for [machine] (default the
+    portable scalar profile), returning the run record and the emitted
+    source.  With a [runner], also compile, execute [reps] times on
+    randomized inputs, and (when [check], the default) compare the output
+    buffers bit-for-bit against [Interp.run_original].  Without one, the
+    record carries the standard no-compiler degradation error. *)
+
+val cpu_run_to_json : cpu_run -> Obs.Json.t
+
+val cpu_run_of_json : Obs.Json.t -> (cpu_run, string) result
+(** Strict inverse of {!cpu_run_to_json}, like {!result_of_json}. *)
+
 val result_to_json : op_result -> Obs.Json.t
 (** Full-fidelity serialization (floats round-trip exactly): the payload
     the compile cache stores for an operator. *)

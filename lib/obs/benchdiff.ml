@@ -57,6 +57,14 @@ let schemas : (string * spec list) list =
         m Lower_better [ "warm"; "p99_us" ]; m Lower_better [ "warm"; "p999_us" ];
         m ~exact:true Lower_better [ "errors" ]
       ] );
+    ( "akg-repro-bench-cpu",
+      [ m ~exact:true Higher_better [ "executed_ops" ];
+        m ~exact:true Higher_better [ "vectorized_ops" ];
+        m ~exact:true Lower_better [ "mismatches" ];
+        m Higher_better [ "geomean_simd_speedup" ];
+        m Lower_better [ "total_emit_s" ]; m Lower_better [ "total_compile_s" ];
+        m Lower_better [ "total_exec_s" ]
+      ] );
     ("akg-repro-bench-micro", [ m Lower_better [ "results"; "*" ] ])
   ]
 

@@ -2,8 +2,8 @@
     engine behind [akg_repro perf-diff].
 
     Each bench schema the repo emits ([akg-repro-bench-service],
-    [-fastpath], [-tune], [-tiling], [-serve-load], and the PR-2 micro file, which
-    is recognized by its ["benchmark": "micro"] tag) declares the
+    [-fastpath], [-tune], [-tiling], [-serve-load], [-cpu], and the PR-2 micro
+    file, which is recognized by its ["benchmark": "micro"] tag) declares the
     metrics worth gating on, each with a direction and a noise class:
     {e exact} metrics are deterministic counts (ILP solves, serve
     errors) where any movement in the bad direction is a regression;

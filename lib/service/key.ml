@@ -1,7 +1,7 @@
 (* Bump whenever the cached payload format or the digest preimage changes:
    a bump changes every digest, so stale entries simply miss (and age out
    of the size cap) instead of being misread. *)
-let format_version = 1
+let format_version = 2
 
 type t = { digest : string; format : int; label : string }
 
@@ -15,10 +15,11 @@ let label t = t.label
    are rendered in hex so equal profiles digest equally and nearly-equal
    ones never collide. *)
 let machine_fields (m : Gpusim.Machine.t) =
-  Printf.sprintf "%s;%d;%d;%h;%d;%d;%h;%h;%h;%h;%h;%d;%d;%h;%h" m.Gpusim.Machine.name
+  Printf.sprintf "%s;%d;%d;%h;%d;%d;%h;%h;%h;%h;%h;%d;%d;%h;%h;%s" m.Gpusim.Machine.name
     m.warp_size m.sector_bytes m.clock_hz m.sm_count m.max_resident_warps
     m.dram_bandwidth m.mem_latency_cycles m.memory_parallelism m.flops_peak
     m.launch_overhead_s m.shared_mem_per_sm m.l2_bytes m.shared_bandwidth m.l2_bandwidth
+    (Gpusim.Machine.isa_name m.isa)
 
 let make ?(format_version = format_version) ?(flags = []) ~kernel ~machine ~version () =
   let b = Buffer.create 1024 in

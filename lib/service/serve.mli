@@ -11,7 +11,11 @@
 
     The optional ["verb"] selects what the request does:
     - [compile] (the default): schedule, lower and simulate one kernel.
-      ["version"] defaults to ["infl"], ["machine"] to the handler's
+      ["version"] defaults to ["infl"] (["cpu"] selects the CPU backend:
+      the reply carries the emitted C source and its byte count instead
+      of a simulated ["time_us"], and a GPU machine in the request falls
+      back to the portable scalar profile — serve never invokes the host
+      toolchain), ["machine"] to the handler's
       default (V100), ["strategy"] (["fastpath-then-ilp"] or
       ["ilp-only"]) to the scheduler's default.
     - [metrics]: returns the full Prometheus-style exposition of every

@@ -16,14 +16,27 @@ let c_failures =
     ~doc:"oracle evaluations whose pipeline raised (candidate scored as unusable)"
 
 let key ?(strategy = Scheduling.Scheduler.default_config.strategy) ?(tile = false)
-    ~machine kernel candidate =
+    ?cpu_runner ~machine kernel candidate =
+  (* measured (cpu-runner) evaluations live under their own version and
+     carry the toolchain digest: a simulated cache entry must never
+     answer for a measured one, or vice versa *)
+  let toolchain =
+    match cpu_runner with
+    | None -> []
+    | Some r ->
+      [ ("toolchain", (Codegen_cpu.Runner.toolchain r).Codegen_cpu.Toolchain.digest) ]
+  in
   Service.Key.make
     ~flags:
-      [ ("entry", "tune"); ("candidate", Candidate.digest candidate);
-        ("strategy", Scheduling.Scheduler.strategy_name strategy)
-      ]
+      ([ ("entry", "tune"); ("candidate", Candidate.digest candidate);
+         ("strategy", Scheduling.Scheduler.strategy_name strategy)
+       ]
+      @ toolchain)
     ~kernel ~machine
-    ~version:(if tile then "tune-tiled" else "tune-infl")
+    ~version:
+      (match cpu_runner with
+       | Some _ -> "tune-cpu"
+       | None -> if tile then "tune-tiled" else "tune-infl")
     ()
 
 module J = Obs.Json
@@ -83,7 +96,7 @@ let rec has_vector_loop = function
     || has_vector_loop l.Codegen.Ast.body
 
 let compute ?(strategy = Scheduling.Scheduler.default_config.strategy) ?(tile = false)
-    ~machine kernel (c : Candidate.t) =
+    ?cpu_runner ~machine kernel (c : Candidate.t) =
   Obs.Span.with_ "tune.eval" @@ fun () ->
   Obs.Counters.incr c_evals;
   match
@@ -104,9 +117,38 @@ let compute ?(strategy = Scheduling.Scheduler.default_config.strategy) ?(tile = 
     let compiled =
       Codegen.Compile.lower ~vectorize:(not tile) ~vec_min_parallel:2048 sched kernel
     in
-    let report = Gpusim.Sim.run ~machine compiled in
-    { time_us = Gpusim.Sim.time_us report;
-      cycles = Gpusim.Sim.cycles ~machine report;
+    let time_us, cycles =
+      match cpu_runner with
+      | None ->
+        let report = Gpusim.Sim.run ~machine compiled in
+        (Gpusim.Sim.time_us report, Gpusim.Sim.cycles ~machine report)
+      | Some runner -> (
+        (* measured mode: execute the emitted C on the host and score the
+           candidate by wall clock instead of the simulator's model *)
+        let m =
+          if Gpusim.Machine.is_cpu machine then machine
+          else Codegen_cpu.Runner.native_profile runner
+        in
+        let src = Codegen_cpu.Cemit.emit ~machine:m compiled in
+        match Codegen_cpu.Runner.build_source runner ~machine:m src with
+        | Error e -> failwith (Codegen_cpu.Runner.error_message e)
+        | Ok built -> (
+          let inst = Ir.Kernel.instantiate kernel in
+          let mem = Interp.randomize inst in
+          let inputs =
+            Array.of_list
+              (List.map
+                 (fun (t : Ir.Tensor.t) ->
+                   Array.copy (Hashtbl.find mem t.Ir.Tensor.name))
+                 inst.Ir.Kernel.tensors)
+          in
+          match Codegen_cpu.Runner.execute runner built ~inputs with
+          | Error e -> failwith (Codegen_cpu.Runner.error_message e)
+          | Ok (_, best_s) ->
+            (best_s *. 1e6, best_s *. m.Gpusim.Machine.clock_hz)))
+    in
+    { time_us;
+      cycles;
       vec = has_vector_loop compiled.Codegen.Compile.ast;
       tiled = Codegen.Tiling.applied compiled.Codegen.Compile.ast;
       influenced = not stats.Scheduling.Scheduler.influence_abandoned
@@ -119,11 +161,11 @@ let compute ?(strategy = Scheduling.Scheduler.default_config.strategy) ?(tile = 
 
 let store cache k m = Service.Cache.store cache k (measurement_to_json m)
 
-let measure ?cache ?strategy ?tile ~machine kernel candidate =
-  let k = key ?strategy ?tile ~machine kernel candidate in
+let measure ?cache ?strategy ?tile ?cpu_runner ~machine kernel candidate =
+  let k = key ?strategy ?tile ?cpu_runner ~machine kernel candidate in
   match Option.bind cache (fun c -> find c k) with
   | Some m -> m
   | None ->
-    let m = compute ?strategy ?tile ~machine kernel candidate in
+    let m = compute ?strategy ?tile ?cpu_runner ~machine kernel candidate in
     Option.iter (fun c -> store c k m) cache;
     m

@@ -25,6 +25,7 @@ type measurement = {
 val key :
   ?strategy:Scheduling.Scheduler.strategy ->
   ?tile:bool ->
+  ?cpu_runner:Codegen_cpu.Runner.t ->
   machine:Gpusim.Machine.t ->
   Ir.Kernel.t ->
   Candidate.t ->
@@ -34,7 +35,9 @@ val key :
     digest and the scheduling strategy (default: the scheduler's
     default).  The strategy changes measured compile-side observability,
     never the schedule, but keeping the keys disjoint means a strategy
-    A/B run can trust every cached measurement. *)
+    A/B run can trust every cached measurement.  With [cpu_runner] the
+    version becomes ["tune-cpu"] and the host toolchain digest joins the
+    flags: measured and simulated entries never answer for each other. *)
 
 val find : Service.Cache.t -> Service.Key.t -> measurement option option
 (** [Some (Some m)] — cached successful measurement; [Some None] — the
@@ -45,6 +48,7 @@ val find : Service.Cache.t -> Service.Key.t -> measurement option option
 val compute :
   ?strategy:Scheduling.Scheduler.strategy ->
   ?tile:bool ->
+  ?cpu_runner:Codegen_cpu.Runner.t ->
   machine:Gpusim.Machine.t ->
   Ir.Kernel.t ->
   Candidate.t ->
@@ -55,7 +59,15 @@ val compute :
     {!Scheduling.Tiling.influence_for} instead of the vectorizer (the
     candidate's weights are inert, its [order] selects among tile-shape
     branches) and lowering is unvectorized, mirroring the harness's
-    {b tiled} column. *)
+    {b tiled} column.
+
+    With [cpu_runner] the oracle switches from the simulator to
+    {e measured} mode: the candidate's lowering is emitted as C,
+    compiled and executed on the host, and [time_us]/[cycles] come from
+    the best-of-reps wall clock on the runner's (or the given CPU
+    profile's) machine.  Measured times are host-dependent, so this mode
+    is API-only — the CLI's tuner always simulates, keeping tuning
+    records reproducible. *)
 
 val store : Service.Cache.t -> Service.Key.t -> measurement option -> unit
 
@@ -63,6 +75,7 @@ val measure :
   ?cache:Service.Cache.t ->
   ?strategy:Scheduling.Scheduler.strategy ->
   ?tile:bool ->
+  ?cpu_runner:Codegen_cpu.Runner.t ->
   machine:Gpusim.Machine.t ->
   Ir.Kernel.t ->
   Candidate.t ->
